@@ -1,0 +1,114 @@
+//! Criterion benchmarks of the simulation substrate itself.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use netsim::ident::NodeId;
+use netsim::link::LinkConfig;
+use netsim::protocol::RoutingProtocol;
+use netsim::simulator::{ProtocolContext, Simulator, SimulatorBuilder};
+use netsim::time::SimTime;
+use netsim::trace::TraceConfig;
+
+/// Static shortest-path routes toward the last node of a line.
+struct LineRoutes {
+    next: Option<NodeId>,
+    last: NodeId,
+}
+
+impl RoutingProtocol for LineRoutes {
+    fn name(&self) -> &'static str {
+        "line"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn on_start(&mut self, ctx: &mut ProtocolContext<'_>) {
+        if let Some(next) = self.next {
+            ctx.install_route(self.last, next);
+        }
+    }
+}
+
+fn build_line(n: usize, record_hops: bool) -> (Simulator, Vec<NodeId>) {
+    let mut b = SimulatorBuilder::new();
+    let nodes = b.add_nodes(n);
+    for w in nodes.windows(2) {
+        b.add_link(w[0], w[1], LinkConfig::default()).unwrap();
+    }
+    b.trace_config(TraceConfig {
+        record_hops,
+        record_control: false,
+    });
+    let mut sim = b.build().unwrap();
+    let last = *nodes.last().unwrap();
+    for (i, &node) in nodes.iter().enumerate() {
+        let next = nodes.get(i + 1).copied();
+        sim.install_protocol(node, Box::new(LineRoutes { next, last }))
+            .unwrap();
+    }
+    sim.start();
+    (sim, nodes)
+}
+
+fn bench_forwarding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for &hops in &[8usize, 32] {
+        group.bench_function(format!("forward_1k_packets_{hops}_hops"), |b| {
+            b.iter_batched(
+                || {
+                    let (mut sim, nodes) = build_line(hops + 1, false);
+                    // 1000 pkt/s stays under the 1250 pkt/s service rate of
+                    // a 10 Mb/s link, so nothing overflows.
+                    for i in 0..1000u64 {
+                        sim.schedule_default_packet(
+                            SimTime::from_micros_helper(i * 1000),
+                            nodes[0],
+                            *nodes.last().unwrap(),
+                        );
+                    }
+                    sim
+                },
+                |mut sim| {
+                    sim.run_to_completion();
+                    assert_eq!(sim.stats().packets_delivered, 1000);
+                    sim
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.bench_function("forward_1k_packets_traced", |b| {
+        b.iter_batched(
+            || {
+                let (mut sim, nodes) = build_line(9, true);
+                for i in 0..1000u64 {
+                    sim.schedule_default_packet(
+                        SimTime::from_micros_helper(i * 1000),
+                        nodes[0],
+                        *nodes.last().unwrap(),
+                    );
+                }
+                sim
+            },
+            |mut sim| {
+                sim.run_to_completion();
+                sim
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+/// Small helper because SimTime has no from_micros constructor.
+trait Micros {
+    fn from_micros_helper(us: u64) -> SimTime;
+}
+impl Micros for SimTime {
+    fn from_micros_helper(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1000)
+    }
+}
+
+criterion_group!(benches, bench_forwarding);
+criterion_main!(benches);

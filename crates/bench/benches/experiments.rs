@@ -1,0 +1,47 @@
+//! Criterion macro-benchmarks: one full paper experiment per protocol
+//! (warm-up, traffic, failure, drain) and the figure workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use convergence::experiment::ExperimentConfig;
+use convergence::metrics::summary::summarize;
+use convergence::protocols::ProtocolKind;
+use convergence::runner::run;
+use topology::mesh::MeshDegree;
+
+fn bench_single_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_run");
+    group.sample_size(20);
+    for protocol in ProtocolKind::ALL {
+        for degree in [MeshDegree::D3, MeshDegree::D6] {
+            group.bench_function(format!("{}_d{}", protocol.label(), degree), |b| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let cfg = ExperimentConfig::paper(protocol, degree, seed);
+                    let result = run(&cfg).expect("run succeeds");
+                    criterion::black_box(summarize(&result))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    // Analysis cost over one fixed (loop-heavy) trace.
+    let cfg = ExperimentConfig::paper(ProtocolKind::Bgp, MeshDegree::D3, 7);
+    let result = run(&cfg).expect("run succeeds");
+    let mut group = c.benchmark_group("metrics");
+    group.bench_function("summarize_bgp_d3", |b| {
+        b.iter(|| criterion::black_box(summarize(&result)));
+    });
+    group.bench_function("loop_forensics_bgp_d3", |b| {
+        b.iter(|| {
+            criterion::black_box(convergence::metrics::analyze_loops(&result.trace))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_runs, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benchmarks of topology construction and analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::ident::NodeId;
+use topology::mesh::{Mesh, MeshDegree};
+use topology::shortest_path::{all_pairs_distances, bfs};
+
+fn bench_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology");
+    group.bench_function("mesh_7x7_d6", |b| {
+        b.iter(|| criterion::black_box(Mesh::regular(7, 7, MeshDegree::D6)));
+    });
+    group.bench_function("mesh_20x20_d8", |b| {
+        b.iter(|| criterion::black_box(Mesh::regular(20, 20, MeshDegree::D8)));
+    });
+
+    let mesh = Mesh::regular(7, 7, MeshDegree::D6);
+    group.bench_function("bfs_7x7_d6", |b| {
+        b.iter(|| criterion::black_box(bfs(mesh.graph(), NodeId::new(0))));
+    });
+    group.bench_function("all_pairs_7x7_d6", |b| {
+        b.iter(|| criterion::black_box(all_pairs_distances(mesh.graph())));
+    });
+
+    let big = Mesh::regular(20, 20, MeshDegree::D4);
+    group.bench_function("bfs_20x20_d4", |b| {
+        b.iter(|| criterion::black_box(bfs(big.graph(), NodeId::new(0))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_topology);
+criterion_main!(benches);

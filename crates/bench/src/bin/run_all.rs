@@ -1,0 +1,49 @@
+//! Regenerates every figure in sequence by invoking the sibling binaries'
+//! logic via `cargo run` is unnecessary — this binary simply spawns the
+//! same executables from the current target directory.
+
+use std::process::Command;
+
+const FIGURES: [&str; 6] = [
+    "fig2_topologies",
+    "fig3_drops",
+    "fig4_ttl",
+    "fig5_throughput",
+    "fig6_convergence",
+    "fig7_delay",
+];
+
+const EXTRAS: [&str; 12] = [
+    "ablation_mrai",
+    "ablation_split_horizon",
+    "ablation_damping",
+    "ablation_sensitivity",
+    "ablation_holddown",
+    "ext_spf",
+    "ext_multi",
+    "ext_tcp",
+    "ext_flap",
+    "ext_scale",
+    "ext_dual",
+    "ext_factors",
+];
+
+fn main() {
+    let runs = std::env::args().nth(1).unwrap_or_else(|| "100".to_string());
+    let everything = std::env::args().nth(2).as_deref() == Some("all");
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("target dir");
+    let mut targets: Vec<&str> = FIGURES.to_vec();
+    if everything {
+        targets.extend(EXTRAS);
+        targets.push("ext_load");
+    }
+    for target in targets {
+        println!("==================== {target} ====================");
+        let status = Command::new(dir.join(target))
+            .arg(&runs)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {target}: {e}"));
+        assert!(status.success(), "{target} failed");
+    }
+}

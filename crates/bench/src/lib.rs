@@ -1,0 +1,164 @@
+//! # bench — figure regeneration and performance benchmarks
+//!
+//! Each binary in `src/bin/` regenerates one of the paper's figures or an
+//! ablation; `benches/` holds criterion benchmarks. This library provides
+//! the shared sweep drivers.
+//!
+//! Every binary accepts an optional first argument: the number of
+//! randomized runs per sweep point (default 100, the paper's count).
+//! Results are printed as aligned tables and written as CSV under
+//! `results/`.
+
+use convergence::aggregate::{aggregate_point, PointSummary};
+use convergence::experiment::ExperimentConfig;
+use convergence::metrics::series::{delay_series, throughput_series};
+use convergence::metrics::summary::{summarize, RunSummary};
+use convergence::protocols::ProtocolKind;
+use convergence::runner::{run, RunResult};
+use topology::mesh::MeshDegree;
+
+/// Default randomized runs per sweep point (the paper's §5 count).
+pub const DEFAULT_RUNS: usize = 100;
+
+/// Base seed for sweeps; per-point seeds derive deterministically.
+pub const BASE_SEED: u64 = 20030622;
+
+/// Parses the optional runs-per-point argument.
+///
+/// # Panics
+///
+/// Panics with a usage message when the argument is not a number.
+#[must_use]
+pub fn runs_from_args() -> usize {
+    match std::env::args().nth(1) {
+        None => DEFAULT_RUNS,
+        Some(arg) => arg
+            .parse()
+            .unwrap_or_else(|_| panic!("usage: <binary> [runs-per-point], got {arg:?}")),
+    }
+}
+
+/// A deterministic seed for a sweep point. Seeds depend on the degree and
+/// run index but *not* the protocol, so all protocols face the identical
+/// scenario sequence (flows, failed links) at each degree — the paper
+/// compares protocols on the same situations.
+#[must_use]
+pub fn point_seed(degree: MeshDegree, run_index: usize) -> u64 {
+    BASE_SEED + u64::from(degree.as_u32()) * 100_000 + run_index as u64
+}
+
+/// Runs `runs` seeded repetitions of the paper experiment for one
+/// (protocol, degree) point, applying `customize` to each configuration,
+/// and maps every result through `extract`.
+///
+/// # Panics
+///
+/// Panics if any run fails (the paper's regular meshes never do).
+pub fn sweep_map<T>(
+    protocol: ProtocolKind,
+    degree: MeshDegree,
+    runs: usize,
+    customize: &dyn Fn(&mut ExperimentConfig),
+    extract: &dyn Fn(&RunResult, &RunSummary) -> T,
+) -> Vec<T> {
+    (0..runs)
+        .map(|i| {
+            let mut cfg = ExperimentConfig::paper(protocol, degree, point_seed(degree, i));
+            customize(&mut cfg);
+            let result = run(&cfg)
+                .unwrap_or_else(|e| panic!("{protocol} d{degree} run {i} failed: {e}"));
+            let summary = summarize(&result);
+            extract(&result, &summary)
+        })
+        .collect()
+}
+
+/// Runs one sweep point and aggregates the scalar summaries.
+#[must_use]
+pub fn sweep_point(
+    protocol: ProtocolKind,
+    degree: MeshDegree,
+    runs: usize,
+    customize: &dyn Fn(&mut ExperimentConfig),
+) -> PointSummary {
+    let summaries = sweep_map(protocol, degree, runs, customize, &|_, s| s.clone());
+    aggregate_point(&summaries)
+}
+
+/// Per-run series extracted for the Figure 5/7 time plots.
+#[derive(Debug, Clone)]
+pub struct SeriesPoint {
+    /// Delivered packets per second, seconds relative to failure.
+    pub throughput: Vec<(i64, u64)>,
+    /// Mean delivered-packet delay per second.
+    pub delay: Vec<(i64, Option<f64>)>,
+}
+
+/// Runs a sweep point collecting throughput and delay series over the
+/// window `[from_s, to_s)` seconds around the failure.
+#[must_use]
+pub fn sweep_series(
+    protocol: ProtocolKind,
+    degree: MeshDegree,
+    runs: usize,
+    from_s: i64,
+    to_s: i64,
+) -> Vec<SeriesPoint> {
+    sweep_map(protocol, degree, runs, &|_| {}, &|result, _| SeriesPoint {
+        throughput: throughput_series(&result.trace, result.t_fail, from_s, to_s),
+        delay: delay_series(&result.trace, result.t_fail, from_s, to_s),
+    })
+}
+
+/// The directory figure CSVs are written into.
+#[must_use]
+pub fn results_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from("results")
+}
+
+/// Renders a compact ASCII sparkline of a numeric series (for terminal
+/// previews of the Figure 5/7 curves).
+#[must_use]
+pub fn sparkline(values: &[f64], max_hint: Option<f64>) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = max_hint
+        .unwrap_or_else(|| values.iter().copied().fold(0.0_f64, f64::max))
+        .max(1e-12);
+    values
+        .iter()
+        .map(|&v| {
+            let ix = ((v / max) * 7.0).round().clamp(0.0, 7.0) as usize;
+            GLYPHS[ix]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_seeds_are_unique_per_degree_and_run() {
+        let mut seen = std::collections::HashSet::new();
+        for degree in MeshDegree::ALL {
+            for i in 0..100 {
+                assert!(seen.insert(point_seed(degree, i)));
+            }
+        }
+    }
+
+    #[test]
+    fn sparkline_spans_the_range() {
+        let line = sparkline(&[0.0, 0.5, 1.0], Some(1.0));
+        assert_eq!(line.chars().count(), 3);
+        assert!(line.starts_with('▁'));
+        assert!(line.ends_with('█'));
+    }
+
+    #[test]
+    fn tiny_sweep_runs_end_to_end() {
+        let point = sweep_point(ProtocolKind::Spf, MeshDegree::D6, 2, &|_| {});
+        assert_eq!(point.drops_total.n, 2);
+        assert!(point.delivery_ratio.mean > 0.9);
+    }
+}

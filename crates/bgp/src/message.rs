@@ -1,0 +1,123 @@
+//! BGP update messages.
+//!
+//! Unlike a distance-vector message, a single BGP update can only announce
+//! destinations that *share the same AS path* (paper §5.2) — after a
+//! failure, routes through different repair paths need separate messages,
+//! and all but the first are held by the MRAI timer. This asymmetry with
+//! RIP's 25-destination grab-bag is one of the paper's explanations for
+//! BGP's longer transient loops.
+
+use netsim::ident::NodeId;
+use netsim::protocol::Payload;
+use routing_core::path::AsPath;
+use serde::{Deserialize, Serialize};
+
+/// One BGP UPDATE: optionally a set of destinations sharing one announced
+/// path, plus explicitly withdrawn destinations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BgpUpdate {
+    /// The announced path, if this update announces anything.
+    pub path: Option<AsPath>,
+    /// Destinations reachable via [`BgpUpdate::path`].
+    pub announced: Vec<NodeId>,
+    /// Destinations no longer reachable through the sender.
+    pub withdrawn: Vec<NodeId>,
+}
+
+impl BgpUpdate {
+    /// An update announcing `announced` via `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `announced` is empty.
+    #[must_use]
+    pub fn announce(path: AsPath, announced: Vec<NodeId>) -> Self {
+        assert!(!announced.is_empty(), "empty announcement");
+        BgpUpdate {
+            path: Some(path),
+            announced,
+            withdrawn: Vec::new(),
+        }
+    }
+
+    /// A pure withdrawal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `withdrawn` is empty.
+    #[must_use]
+    pub fn withdraw(withdrawn: Vec<NodeId>) -> Self {
+        assert!(!withdrawn.is_empty(), "empty withdrawal");
+        BgpUpdate {
+            path: None,
+            announced: Vec::new(),
+            withdrawn,
+        }
+    }
+
+    /// Returns `true` if the update carries nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.announced.is_empty() && self.withdrawn.is_empty()
+    }
+}
+
+impl Payload for BgpUpdate {
+    /// BGP-4 sizing: 19-byte header, 2+2·len AS_PATH attribute, 4 bytes per
+    /// announced NLRI and per withdrawn route.
+    fn size_bytes(&self) -> usize {
+        19 + self.path.as_ref().map_or(0, AsPath::size_bytes)
+            + 4 * self.announced.len()
+            + 4 * self.withdrawn.len()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn announce_and_withdraw_constructors() {
+        let a = BgpUpdate::announce(AsPath::origin(n(3)), vec![n(3)]);
+        assert_eq!(a.announced, vec![n(3)]);
+        assert!(a.withdrawn.is_empty());
+        assert!(!a.is_empty());
+
+        let w = BgpUpdate::withdraw(vec![n(1), n(2)]);
+        assert!(w.path.is_none());
+        assert_eq!(w.withdrawn.len(), 2);
+    }
+
+    #[test]
+    fn sizes_grow_with_content() {
+        let short = BgpUpdate::announce(AsPath::origin(n(0)), vec![n(0)]);
+        let long = BgpUpdate::announce(
+            AsPath::origin(n(0)).prepended(n(1)).prepended(n(2)),
+            vec![n(0), n(5), n(6)],
+        );
+        assert!(long.size_bytes() > short.size_bytes());
+        assert_eq!(short.size_bytes(), 19 + 4 + 4);
+        let w = BgpUpdate::withdraw(vec![n(9)]);
+        assert_eq!(w.size_bytes(), 19 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty announcement")]
+    fn empty_announcement_rejected() {
+        let _ = BgpUpdate::announce(AsPath::origin(n(0)), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty withdrawal")]
+    fn empty_withdrawal_rejected() {
+        let _ = BgpUpdate::withdraw(vec![]);
+    }
+}

@@ -1,0 +1,473 @@
+//! The BGP protocol engine.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use netsim::ident::NodeId;
+use netsim::protocol::{Payload, RoutingProtocol, TimerToken};
+use netsim::simulator::ProtocolContext;
+use routing_core::damping::{DampAction, Damper};
+use routing_core::path::AsPath;
+
+use crate::config::{BgpConfig, MraiScope};
+use crate::flap::{FlapDamper, FlapEvent, ReuseOutcome};
+use crate::message::BgpUpdate;
+use crate::rib::{select, AdjRibIn, BestRoute};
+
+mod timer {
+    /// MRAI expiry, per-neighbor scope. arg = epoch << 24 | neighbor.
+    pub const MRAI_NEIGHBOR: u64 = 1;
+    /// MRAI expiry, per-(neighbor, destination) scope.
+    /// arg = epoch << 40 | neighbor << 20 | dest.
+    pub const MRAI_PAIR: u64 = 2;
+    /// Flap-damping reuse evaluation. Same arg layout as `MRAI_PAIR`.
+    pub const FLAP_REUSE: u64 = 3;
+}
+
+/// A BGP speaker for one router (= one AS, as in the paper).
+///
+/// Implements the §3 subset: shortest-AS-path policy, reliable in-order
+/// sessions, updates only on change, explicit withdrawals that bypass the
+/// MRAI timer, receive-side loop detection ("a path containing myself is a
+/// withdrawal"), and a per-neighbor MRAI timer whose scope and mean are
+/// configurable ([`BgpConfig::standard`] vs [`BgpConfig::bgp3`]).
+#[derive(Debug)]
+pub struct Bgp {
+    config: BgpConfig,
+    adj_in: AdjRibIn,
+    loc_rib: Vec<Option<BestRoute>>,
+    dampers: BTreeMap<NodeId, Damper>,
+    pending: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    pair_dampers: BTreeMap<(NodeId, NodeId), Damper>,
+    pair_pending: BTreeSet<(NodeId, NodeId)>,
+    /// Bumped when a session resets so stale MRAI timers are ignored.
+    epochs: BTreeMap<NodeId, u64>,
+    /// RFC 2439 figure-of-merit state (inert when damping is disabled).
+    flap: FlapDamper,
+    /// Destinations whose best route changed during the current event.
+    changed_batch: Vec<NodeId>,
+    /// Destinations that became unreachable during the current event.
+    withdrawn_batch: Vec<NodeId>,
+}
+
+impl Bgp {
+    /// A speaker with the RFC-recommended 30 s average MRAI.
+    #[must_use]
+    pub fn new() -> Self {
+        Bgp::with_config(BgpConfig::standard())
+    }
+
+    /// The study's BGP-3 parameterization (3 s average MRAI).
+    #[must_use]
+    pub fn bgp3() -> Self {
+        Bgp::with_config(BgpConfig::bgp3())
+    }
+
+    /// A speaker with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn with_config(config: BgpConfig) -> Self {
+        config.validate().expect("invalid BGP configuration");
+        Bgp {
+            flap: FlapDamper::new(config.flap_damping),
+            config,
+            adj_in: AdjRibIn::default(),
+            loc_rib: Vec::new(),
+            dampers: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            pair_dampers: BTreeMap::new(),
+            pair_pending: BTreeSet::new(),
+            epochs: BTreeMap::new(),
+            changed_batch: Vec::new(),
+            withdrawn_batch: Vec::new(),
+        }
+    }
+
+    /// The selected best route for `dest` (for tests and forensics).
+    #[must_use]
+    pub fn best(&self, dest: NodeId) -> Option<&BestRoute> {
+        self.loc_rib.get(dest.index())?.as_ref()
+    }
+
+    fn epoch(&self, neighbor: NodeId) -> u64 {
+        self.epochs.get(&neighbor).copied().unwrap_or(0)
+    }
+
+    /// Re-runs the decision process for `dest`; best-route changes are
+    /// collected into the event batches flushed by [`Bgp::after_changes`].
+    fn re_decide(&mut self, ctx: &mut ProtocolContext<'_>, dest: NodeId) {
+        if dest == ctx.node() {
+            return;
+        }
+        let best = select(
+            self.adj_in
+                .candidates(dest, |n| ctx.neighbor_up(n) && !self.flap.is_suppressed(n, dest)),
+        )
+        .map(
+            |(neighbor, path)| BestRoute {
+                path: path.clone(),
+                next_hop: Some(neighbor),
+            },
+        );
+        if self.loc_rib[dest.index()] == best {
+            return;
+        }
+        match &best {
+            Some(route) => {
+                ctx.install_route(dest, route.next_hop.expect("learned route has next hop"));
+                self.changed_batch.push(dest);
+            }
+            None => {
+                ctx.remove_route(dest);
+                if self.config.damp_withdrawals {
+                    self.changed_batch.push(dest);
+                } else {
+                    self.withdrawn_batch.push(dest);
+                }
+            }
+        }
+        self.loc_rib[dest.index()] = best;
+    }
+
+    /// The path to announce for `dest`, prepended with the local AS.
+    fn announce_path(&self, me: NodeId, dest: NodeId) -> Option<AsPath> {
+        let route = self.loc_rib[dest.index()].as_ref()?;
+        Some(match route.next_hop {
+            Some(_) => route.path.prepended(me),
+            // The locally originated route already starts with `me`.
+            None => route.path.clone(),
+        })
+    }
+
+    /// Sends the current state of `dests` to `neighbor`: announcements
+    /// grouped by path (one update per distinct path, as BGP requires) and
+    /// a withdrawal for anything with no best route.
+    fn send_routes(&self, ctx: &mut ProtocolContext<'_>, neighbor: NodeId, dests: &[NodeId]) {
+        let me = ctx.node();
+        let mut groups: BTreeMap<AsPath, Vec<NodeId>> = BTreeMap::new();
+        let mut withdrawn = Vec::new();
+        for &dest in dests {
+            if dest == neighbor {
+                continue; // a peer needs no route to itself
+            }
+            match self.announce_path(me, dest) {
+                Some(path) => groups.entry(path).or_default().push(dest),
+                None => withdrawn.push(dest),
+            }
+        }
+        for (path, announced) in groups {
+            ctx.send_reliable(neighbor, Box::new(BgpUpdate::announce(path, announced)));
+        }
+        if !withdrawn.is_empty() {
+            ctx.send_reliable(neighbor, Box::new(BgpUpdate::withdraw(withdrawn)));
+        }
+    }
+
+    /// Flushes the event's batches: withdrawals immediately, announcements
+    /// through the MRAI state machine.
+    fn after_changes(&mut self, ctx: &mut ProtocolContext<'_>) {
+        let withdrawn = std::mem::take(&mut self.withdrawn_batch);
+        if !withdrawn.is_empty() {
+            for neighbor in ctx.neighbors() {
+                if ctx.neighbor_up(neighbor) {
+                    let for_peer: Vec<NodeId> = withdrawn
+                        .iter()
+                        .copied()
+                        .filter(|&d| d != neighbor)
+                        .collect();
+                    if !for_peer.is_empty() {
+                        ctx.send_reliable(neighbor, Box::new(BgpUpdate::withdraw(for_peer)));
+                    }
+                }
+            }
+        }
+        let batch = std::mem::take(&mut self.changed_batch);
+        if batch.is_empty() {
+            return;
+        }
+        for neighbor in ctx.neighbors() {
+            if !ctx.neighbor_up(neighbor) {
+                continue;
+            }
+            match self.config.mrai_scope {
+                MraiScope::PerNeighbor => self.offer_batch_per_neighbor(ctx, neighbor, &batch),
+                MraiScope::PerNeighborDestination => {
+                    for &dest in &batch {
+                        self.offer_one_per_pair(ctx, neighbor, dest);
+                    }
+                }
+            }
+        }
+    }
+
+    fn offer_batch_per_neighbor(
+        &mut self,
+        ctx: &mut ProtocolContext<'_>,
+        neighbor: NodeId,
+        batch: &[NodeId],
+    ) {
+        let damper = self
+            .dampers
+            .entry(neighbor)
+            .or_insert_with(|| Damper::new(self.config.mrai_min(), self.config.mrai_max()));
+        match damper.on_change(ctx.rng()) {
+            DampAction::SendNow(window) => {
+                self.send_routes(ctx, neighbor, batch);
+                let arg = (self.epoch(neighbor) << 24) | neighbor.index() as u64;
+                ctx.set_timer(window, TimerToken::compose(timer::MRAI_NEIGHBOR, arg));
+            }
+            DampAction::Deferred => {
+                self.pending.entry(neighbor).or_default().extend(batch);
+            }
+        }
+    }
+
+    fn offer_one_per_pair(
+        &mut self,
+        ctx: &mut ProtocolContext<'_>,
+        neighbor: NodeId,
+        dest: NodeId,
+    ) {
+        let damper = self
+            .pair_dampers
+            .entry((neighbor, dest))
+            .or_insert_with(|| Damper::new(self.config.mrai_min(), self.config.mrai_max()));
+        match damper.on_change(ctx.rng()) {
+            DampAction::SendNow(window) => {
+                self.send_routes(ctx, neighbor, &[dest]);
+                let arg = (self.epoch(neighbor) << 40)
+                    | ((neighbor.index() as u64) << 20)
+                    | dest.index() as u64;
+                ctx.set_timer(window, TimerToken::compose(timer::MRAI_PAIR, arg));
+            }
+            DampAction::Deferred => {
+                self.pair_pending.insert((neighbor, dest));
+            }
+        }
+    }
+}
+
+impl Bgp {
+    /// Records a flap event; on a fresh suppression arms the reuse timer.
+    fn record_flap(
+        &mut self,
+        ctx: &mut ProtocolContext<'_>,
+        peer: NodeId,
+        dest: NodeId,
+        event: FlapEvent,
+    ) {
+        let outcome = self.flap.record(peer, dest, event, ctx.now());
+        if let Some(reuse_in) = outcome.reuse_in {
+            let arg = (self.epoch(peer) << 40)
+                | ((peer.index() as u64) << 20)
+                | dest.index() as u64;
+            ctx.set_timer(reuse_in, TimerToken::compose(timer::FLAP_REUSE, arg));
+        }
+    }
+}
+
+impl Default for Bgp {
+    fn default() -> Self {
+        Bgp::new()
+    }
+}
+
+impl RoutingProtocol for Bgp {
+    fn name(&self) -> &'static str {
+        "bgp"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn on_start(&mut self, ctx: &mut ProtocolContext<'_>) {
+        let n = ctx.num_nodes();
+        self.adj_in = AdjRibIn::new(n);
+        self.loc_rib = vec![None; n];
+        self.loc_rib[ctx.node().index()] = Some(BestRoute {
+            path: AsPath::origin(ctx.node()),
+            next_hop: None,
+        });
+        self.changed_batch.push(ctx.node());
+        self.after_changes(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut ProtocolContext<'_>, from: NodeId, payload: &dyn Payload) {
+        let Some(update) = payload.as_any().downcast_ref::<BgpUpdate>() else {
+            debug_assert!(false, "BGP received a non-BGP payload");
+            return;
+        };
+        for &dest in &update.withdrawn {
+            if dest == ctx.node() {
+                continue;
+            }
+            if self.adj_in.get(from, dest).is_some() {
+                self.record_flap(ctx, from, dest, FlapEvent::Withdrawal);
+            }
+            self.adj_in.set(from, dest, None);
+            self.re_decide(ctx, dest);
+        }
+        if let Some(path) = &update.path {
+            debug_assert_eq!(path.first(), Some(from), "announced path must start at peer");
+            // Receive-side loop detection: a path containing this AS is
+            // treated as a withdrawal (the split-horizon analog of §3).
+            let filtered = if path.contains(ctx.node()) {
+                None
+            } else {
+                Some(path.clone())
+            };
+            for &dest in &update.announced {
+                if dest == ctx.node() {
+                    continue;
+                }
+                if self.flap.is_enabled() {
+                    let previous = self.adj_in.get(from, dest);
+                    match (&filtered, previous) {
+                        // The loop-filtered "withdrawal" of a stored path.
+                        (None, Some(_)) => {
+                            self.record_flap(ctx, from, dest, FlapEvent::Withdrawal);
+                        }
+                        (Some(_), _) if self.flap.is_withdrawn(from, dest) => {
+                            self.record_flap(ctx, from, dest, FlapEvent::Reannounce);
+                        }
+                        (Some(new), Some(old)) if old != new => {
+                            self.record_flap(ctx, from, dest, FlapEvent::AttributeChange);
+                        }
+                        _ => {}
+                    }
+                }
+                self.adj_in.set(from, dest, filtered.clone());
+                self.re_decide(ctx, dest);
+            }
+        }
+        self.after_changes(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ProtocolContext<'_>, token: TimerToken) {
+        match token.kind() {
+            timer::MRAI_NEIGHBOR => {
+                let neighbor = NodeId::new((token.arg() & 0xff_ffff) as u32);
+                let epoch = token.arg() >> 24;
+                if epoch != self.epoch(neighbor) {
+                    return; // session reset since this timer was armed
+                }
+                let Some(damper) = self.dampers.get_mut(&neighbor) else {
+                    return;
+                };
+                let _ = damper.on_window_expired();
+                let pending: Vec<NodeId> = self
+                    .pending
+                    .remove(&neighbor)
+                    .map(|s| s.into_iter().collect())
+                    .unwrap_or_default();
+                if !pending.is_empty() && ctx.neighbor_up(neighbor) {
+                    self.send_routes(ctx, neighbor, &pending);
+                    let window = self
+                        .dampers
+                        .get_mut(&neighbor)
+                        .expect("damper exists")
+                        .reopen(ctx.rng());
+                    let arg = (self.epoch(neighbor) << 24) | neighbor.index() as u64;
+                    ctx.set_timer(window, TimerToken::compose(timer::MRAI_NEIGHBOR, arg));
+                }
+            }
+            timer::MRAI_PAIR => {
+                let dest = NodeId::new((token.arg() & 0xf_ffff) as u32);
+                let neighbor = NodeId::new(((token.arg() >> 20) & 0xf_ffff) as u32);
+                let epoch = token.arg() >> 40;
+                if epoch != self.epoch(neighbor) {
+                    return;
+                }
+                let Some(damper) = self.pair_dampers.get_mut(&(neighbor, dest)) else {
+                    return;
+                };
+                let _ = damper.on_window_expired();
+                if self.pair_pending.remove(&(neighbor, dest)) && ctx.neighbor_up(neighbor) {
+                    self.send_routes(ctx, neighbor, &[dest]);
+                    let window = self
+                        .pair_dampers
+                        .get_mut(&(neighbor, dest))
+                        .expect("damper exists")
+                        .reopen(ctx.rng());
+                    let arg = (self.epoch(neighbor) << 40)
+                        | ((neighbor.index() as u64) << 20)
+                        | dest.index() as u64;
+                    ctx.set_timer(window, TimerToken::compose(timer::MRAI_PAIR, arg));
+                }
+            }
+            timer::FLAP_REUSE => {
+                let dest = NodeId::new((token.arg() & 0xf_ffff) as u32);
+                let neighbor = NodeId::new(((token.arg() >> 20) & 0xf_ffff) as u32);
+                let epoch = token.arg() >> 40;
+                if epoch != self.epoch(neighbor) {
+                    return;
+                }
+                match self.flap.try_reuse(neighbor, dest, ctx.now()) {
+                    ReuseOutcome::Released => {
+                        self.re_decide(ctx, dest);
+                        self.after_changes(ctx);
+                    }
+                    ReuseOutcome::StillSuppressed(delay) => {
+                        let arg = (self.epoch(neighbor) << 40)
+                            | ((neighbor.index() as u64) << 20)
+                            | dest.index() as u64;
+                        ctx.set_timer(delay, TimerToken::compose(timer::FLAP_REUSE, arg));
+                    }
+                }
+            }
+            other => debug_assert!(false, "unknown BGP timer kind {other}"),
+        }
+    }
+
+    fn on_link_down(&mut self, ctx: &mut ProtocolContext<'_>, neighbor: NodeId) {
+        // Session reset: forget everything the peer told us and everything
+        // we owed it.
+        *self.epochs.entry(neighbor).or_insert(0) += 1;
+        self.adj_in.clear_neighbor(neighbor);
+        self.dampers.remove(&neighbor);
+        self.pending.remove(&neighbor);
+        self.pair_dampers.retain(|&(n, _), _| n != neighbor);
+        self.pair_pending.retain(|&(n, _)| n != neighbor);
+        self.flap.clear_peer(neighbor);
+        for i in 0..self.loc_rib.len() {
+            self.re_decide(ctx, NodeId::new(i as u32));
+        }
+        self.after_changes(ctx);
+    }
+
+    fn on_link_up(&mut self, ctx: &mut ProtocolContext<'_>, neighbor: NodeId) {
+        // Fresh session: initial RIB exchange is not MRAI-throttled.
+        *self.epochs.entry(neighbor).or_insert(0) += 1;
+        let all: Vec<NodeId> = self
+            .loc_rib
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_some())
+            .map(|(i, _)| NodeId::new(i as u32))
+            .collect();
+        self.send_routes(ctx, neighbor, &all);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_pick_expected_configs() {
+        let std = Bgp::new();
+        let fast = Bgp::bgp3();
+        assert_eq!(std.config.mrai_mean, netsim::time::SimDuration::from_secs(30));
+        assert_eq!(fast.config.mrai_mean, netsim::time::SimDuration::from_secs(3));
+        assert_eq!(std.name(), "bgp");
+    }
+
+    #[test]
+    fn best_is_none_before_start() {
+        let bgp = Bgp::new();
+        assert!(bgp.best(NodeId::new(0)).is_none());
+    }
+}

@@ -1,0 +1,156 @@
+//! Multi-run aggregation: the paper averages every number over 100
+//! randomized runs per (protocol, degree) point.
+
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::ExperimentConfig;
+use crate::metrics::summary::{summarize, RunSummary};
+use crate::runner::{run, RunError, RunResult};
+
+/// Mean / standard deviation / extremes of one metric across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aggregate {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl Aggregate {
+    /// Aggregates a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot aggregate zero observations");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        Aggregate {
+            mean,
+            std_dev: var.sqrt(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            n,
+        }
+    }
+}
+
+/// Executes `runs` seeded repetitions of `config` (seeds
+/// `base_seed..base_seed+runs`), returning each run's result and summary.
+///
+/// Runs whose random draw produced an unusable scenario (e.g. sender ==
+/// receiver candidates exhausted) propagate their error.
+///
+/// # Errors
+///
+/// Returns the first [`RunError`] encountered.
+pub fn run_many(
+    config: &ExperimentConfig,
+    runs: usize,
+    base_seed: u64,
+) -> Result<Vec<(RunResult, RunSummary)>, RunError> {
+    (0..runs)
+        .map(|i| {
+            let mut cfg = config.clone();
+            cfg.seed = base_seed + i as u64;
+            let result = run(&cfg)?;
+            let summary = summarize(&result);
+            Ok((result, summary))
+        })
+        .collect()
+}
+
+/// The aggregated scalars for one sweep point, in the units the paper
+/// plots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointSummary {
+    /// Mean drops with no route (Fig. 3 y-axis).
+    pub drops_no_route: Aggregate,
+    /// Mean TTL expirations (Fig. 4 y-axis).
+    pub ttl_expirations: Aggregate,
+    /// Mean drops on the undetected failed link.
+    pub drops_link_down: Aggregate,
+    /// Mean total drops.
+    pub drops_total: Aggregate,
+    /// Mean delivery ratio.
+    pub delivery_ratio: Aggregate,
+    /// Mean forwarding-path convergence delay (Fig. 6a y-axis).
+    pub forwarding_convergence_s: Aggregate,
+    /// Mean network routing convergence time (Fig. 6b y-axis).
+    pub routing_convergence_s: Aggregate,
+    /// Mean count of looping packets.
+    pub looped_packets: Aggregate,
+    /// Mean count of distinct transient paths.
+    pub transient_paths: Aggregate,
+    /// Mean control messages per run.
+    pub control_messages: Aggregate,
+    /// Mean of the per-run maximum switch-over window (Fig. 4.1 factor).
+    pub max_switchover_s: Aggregate,
+    /// Mean path stretch of delivered flow packets.
+    pub mean_stretch: Aggregate,
+}
+
+/// Folds per-run summaries into a [`PointSummary`].
+///
+/// # Panics
+///
+/// Panics if `summaries` is empty.
+#[must_use]
+pub fn aggregate_point(summaries: &[RunSummary]) -> PointSummary {
+    let f = |extract: fn(&RunSummary) -> f64| {
+        Aggregate::of(&summaries.iter().map(extract).collect::<Vec<f64>>())
+    };
+    PointSummary {
+        drops_no_route: f(|s| s.drops.no_route as f64),
+        ttl_expirations: f(|s| s.drops.ttl_expired as f64),
+        drops_link_down: f(|s| s.drops.link_down as f64),
+        drops_total: f(|s| s.drops.total() as f64),
+        delivery_ratio: f(RunSummary::delivery_ratio),
+        forwarding_convergence_s: f(|s| s.forwarding_convergence_s),
+        routing_convergence_s: f(|s| s.routing_convergence_s),
+        looped_packets: f(|s| s.looped_packets as f64),
+        transient_paths: f(|s| s.transient_paths as f64),
+        control_messages: f(|s| s.control_messages as f64),
+        max_switchover_s: f(|s| s.max_switchover_s),
+        mean_stretch: f(|s| s.mean_stretch),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_of_constant_sample() {
+        let a = Aggregate::of(&[3.0, 3.0, 3.0]);
+        assert_eq!(a.mean, 3.0);
+        assert_eq!(a.std_dev, 0.0);
+        assert_eq!(a.min, 3.0);
+        assert_eq!(a.max, 3.0);
+        assert_eq!(a.n, 3);
+    }
+
+    #[test]
+    fn aggregate_statistics() {
+        let a = Aggregate::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((a.mean - 2.5).abs() < 1e-12);
+        assert!((a.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.max, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero observations")]
+    fn empty_sample_panics() {
+        let _ = Aggregate::of(&[]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Failure plans: what breaks, and how the broken element is chosen.
+
+use netsim::ident::NodeId;
+use netsim::rng::SimRng;
+use netsim::time::SimDuration;
+use netsim::simulator::{ForwardingPath, Simulator};
+use topology::graph::{Edge, Graph};
+
+/// What fails during a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailurePlan {
+    /// No failure (baseline sanity runs).
+    None,
+    /// The paper's plan: one link, chosen uniformly from the links on the
+    /// live forwarding path between sender and receiver.
+    SingleLinkOnPath,
+    /// A specific link (for controlled experiments).
+    SpecificLink(Edge),
+    /// §6 extension: `count` distinct links chosen from the live path and,
+    /// when the path is shorter, from the remaining links — skipping
+    /// choices that would partition the network.
+    MultipleLinks {
+        /// How many links to fail simultaneously.
+        count: usize,
+    },
+    /// §6 extension: an interior router on the live path fails entirely
+    /// (all its links go down).
+    NodeOnPath,
+    /// Flap-damping extension: one on-path link flaps `cycles` times
+    /// (down for `down`, up for `up`), then stays up.
+    FlappingLink {
+        /// Number of down/up cycles.
+        cycles: u32,
+        /// How long the link stays down each cycle.
+        down: SimDuration,
+        /// How long the link stays up between cycles.
+        up: SimDuration,
+    },
+}
+
+/// One link state change relative to the failure instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureAction {
+    /// Offset from the failure instant.
+    pub offset: SimDuration,
+    /// The affected link.
+    pub edge: Edge,
+    /// `true` = recover, `false` = fail.
+    pub up: bool,
+}
+
+/// The concrete selection made for one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureSelection {
+    /// The distinct links affected.
+    pub edges: Vec<Edge>,
+    /// Every scheduled state change, in offset order.
+    pub timeline: Vec<FailureAction>,
+    /// The failed router, for [`FailurePlan::NodeOnPath`].
+    pub node: Option<NodeId>,
+}
+
+impl FailureSelection {
+    /// A selection that fails nothing.
+    #[must_use]
+    pub fn none() -> Self {
+        FailureSelection {
+            edges: Vec::new(),
+            timeline: Vec::new(),
+            node: None,
+        }
+    }
+
+    /// All named edges fail once at the failure instant.
+    #[must_use]
+    pub fn fail_at_zero(edges: Vec<Edge>, node: Option<NodeId>) -> Self {
+        let timeline = edges
+            .iter()
+            .map(|&edge| FailureAction {
+                offset: SimDuration::ZERO,
+                edge,
+                up: false,
+            })
+            .collect();
+        FailureSelection {
+            edges,
+            timeline,
+            node,
+        }
+    }
+}
+
+/// Chooses the concrete failure for a run.
+///
+/// `sim` must be warmed up: the live forwarding path from `sender` to
+/// `receiver` is read from the FIBs, exactly as the paper fails "one of
+/// the links along the shortest path between the sender and receiver".
+///
+/// # Panics
+///
+/// Panics if the forwarding path is not complete (the runner verifies
+/// steady state first) or if a plan cannot be satisfied on this topology.
+#[must_use]
+pub fn choose_failure(
+    plan: &FailurePlan,
+    sim: &Simulator,
+    graph: &Graph,
+    sender: NodeId,
+    receiver: NodeId,
+    rng: &mut SimRng,
+) -> FailureSelection {
+    let path = || -> Vec<NodeId> {
+        match sim.forwarding_path(sender, receiver) {
+            ForwardingPath::Complete(p) => p,
+            other => panic!("run not warmed up: {other:?}"),
+        }
+    };
+    match plan {
+        FailurePlan::None => FailureSelection::none(),
+        FailurePlan::SpecificLink(edge) => FailureSelection::fail_at_zero(vec![*edge], None),
+        FailurePlan::SingleLinkOnPath => {
+            let p = path();
+            let hop = rng.gen_index(p.len() - 1);
+            FailureSelection::fail_at_zero(vec![Edge::new(p[hop], p[hop + 1])], None)
+        }
+        FailurePlan::FlappingLink { cycles, down, up } => {
+            assert!(*cycles >= 1, "FlappingLink requires at least one cycle");
+            let p = path();
+            let hop = rng.gen_index(p.len() - 1);
+            let edge = Edge::new(p[hop], p[hop + 1]);
+            let mut timeline = Vec::new();
+            let mut offset = SimDuration::ZERO;
+            for _ in 0..*cycles {
+                timeline.push(FailureAction {
+                    offset,
+                    edge,
+                    up: false,
+                });
+                offset += *down;
+                timeline.push(FailureAction {
+                    offset,
+                    edge,
+                    up: true,
+                });
+                offset += *up;
+            }
+            FailureSelection {
+                edges: vec![edge],
+                timeline,
+                node: None,
+            }
+        }
+        FailurePlan::MultipleLinks { count } => {
+            assert!(*count >= 1, "MultipleLinks requires count >= 1");
+            let p = path();
+            let mut working: Graph = graph.clone();
+            let mut chosen: Vec<Edge> = Vec::new();
+            // First pick from the live path, then from anywhere, always
+            // keeping the network connected.
+            let mut candidates: Vec<Edge> = p
+                .windows(2)
+                .map(|w| Edge::new(w[0], w[1]))
+                .collect();
+            let mut extras: Vec<Edge> = graph
+                .edges()
+                .filter(|e| !candidates.contains(e))
+                .collect();
+            while chosen.len() < *count && !(candidates.is_empty() && extras.is_empty()) {
+                let pool = if candidates.is_empty() {
+                    &mut extras
+                } else {
+                    &mut candidates
+                };
+                let ix = rng.gen_index(pool.len());
+                let edge = pool.swap_remove(ix);
+                let reduced = working.without_edge(edge);
+                if reduced.is_connected() {
+                    working = reduced;
+                    chosen.push(edge);
+                }
+            }
+            assert!(
+                chosen.len() == *count,
+                "could not select {count} non-partitioning links"
+            );
+            FailureSelection::fail_at_zero(chosen, None)
+        }
+        FailurePlan::NodeOnPath => {
+            let p = path();
+            assert!(
+                p.len() >= 3,
+                "path {p:?} has no interior router to fail"
+            );
+            let victim = p[1 + rng.gen_index(p.len() - 2)];
+            let edges: Vec<Edge> = graph
+                .neighbors(victim)
+                .iter()
+                .map(|&n| Edge::new(victim, n))
+                .collect();
+            FailureSelection::fail_at_zero(edges, Some(victim))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_selects_nothing() {
+        let sel = FailureSelection::none();
+        assert!(sel.edges.is_empty());
+        assert!(sel.node.is_none());
+    }
+
+    #[test]
+    fn specific_link_is_passed_through() {
+        // SpecificLink doesn't need the simulator; exercise via a tiny sim.
+        let mut b = netsim::simulator::SimulatorBuilder::new();
+        let n0 = b.add_node();
+        let n1 = b.add_node();
+        b.add_link(n0, n1, netsim::link::LinkConfig::default()).unwrap();
+        let sim = b.build().unwrap();
+        let mut g = Graph::new(2);
+        g.add_edge(n0, n1);
+        let edge = Edge::new(n0, n1);
+        let sel = choose_failure(
+            &FailurePlan::SpecificLink(edge),
+            &sim,
+            &g,
+            n0,
+            n1,
+            &mut SimRng::seed_from(0),
+        );
+        assert_eq!(sel.edges, vec![edge]);
+    }
+}

@@ -1,0 +1,46 @@
+//! # convergence — the study's experiment harness
+//!
+//! This crate is the paper's primary contribution, reimplemented as a
+//! library: configure a topology, a protocol and a failure; run the
+//! deterministic simulation (warm-up → steady-state verification → CBR
+//! traffic → failure injection → drain); then compute every metric the
+//! evaluation section plots — drop counts by cause, TTL expirations,
+//! instantaneous throughput and delay, forwarding-path and routing
+//! convergence times, and per-packet loop forensics.
+//!
+//! ```no_run
+//! use convergence::prelude::*;
+//! use topology::mesh::MeshDegree;
+//!
+//! let cfg = ExperimentConfig::paper(ProtocolKind::Dbf, MeshDegree::D5, 42);
+//! let result = run(&cfg)?;
+//! let summary = summarize(&result);
+//! println!("delivered {}/{} packets", summary.delivered, summary.injected);
+//! # Ok::<(), convergence::runner::RunError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aggregate;
+pub mod experiment;
+pub mod failure;
+pub mod metrics;
+pub mod protocols;
+pub mod report;
+pub mod runner;
+pub mod transport;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use crate::aggregate::{aggregate_point, run_many, Aggregate, PointSummary};
+    pub use crate::experiment::{
+        ExperimentConfig, TopologySpec, TrafficConfig, TrafficMode, WarmupPolicy,
+    };
+    pub use crate::failure::{FailurePlan, FailureSelection};
+    pub use crate::metrics::summary::{summarize, RunSummary};
+    pub use crate::protocols::ProtocolKind;
+    pub use crate::report::Table;
+    pub use crate::runner::{run, Flow, RunError, RunResult};
+    pub use crate::transport::{GoBackNConfig, WindowFlowReport};
+}

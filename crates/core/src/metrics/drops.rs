@@ -1,0 +1,111 @@
+//! Packet-drop accounting (Figures 3 and 4).
+
+use netsim::packet::DropReason;
+use netsim::trace::{Trace, TraceEvent};
+use serde::{Deserialize, Serialize};
+
+/// Packet drops by cause over a whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DropCounts {
+    /// Router had no FIB entry (§5.1, Figure 3).
+    pub no_route: u64,
+    /// TTL ran out in a transient loop (§5.2, Figure 4).
+    pub ttl_expired: u64,
+    /// Transmitted onto a failed-but-undetected link.
+    pub link_down: u64,
+    /// Drop-tail queue overflow.
+    pub queue_overflow: u64,
+}
+
+impl DropCounts {
+    /// Total drops of all causes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.no_route + self.ttl_expired + self.link_down + self.queue_overflow
+    }
+}
+
+/// Tallies drops in a trace.
+///
+/// # Examples
+///
+/// ```
+/// use convergence::metrics::drops::count_drops;
+/// use netsim::trace::Trace;
+///
+/// let counts = count_drops(&Trace::new());
+/// assert_eq!(counts.total(), 0);
+/// ```
+#[must_use]
+pub fn count_drops(trace: &Trace) -> DropCounts {
+    let mut counts = DropCounts::default();
+    for event in trace {
+        if let TraceEvent::PacketDropped { reason, .. } = event {
+            match reason {
+                DropReason::NoRoute => counts.no_route += 1,
+                DropReason::TtlExpired => counts.ttl_expired += 1,
+                DropReason::LinkDown => counts.link_down += 1,
+                DropReason::QueueOverflow => counts.queue_overflow += 1,
+            }
+        }
+    }
+    counts
+}
+
+/// Counts delivered packets in a trace.
+#[must_use]
+pub fn count_delivered(trace: &Trace) -> u64 {
+    trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::PacketDelivered { .. }))
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::ident::{NodeId, PacketId};
+    use netsim::time::SimTime;
+
+    fn drop_event(reason: DropReason, at_ms: u64) -> TraceEvent {
+        TraceEvent::PacketDropped {
+            time: SimTime::from_millis(at_ms),
+            id: PacketId::new(at_ms),
+            node: NodeId::new(0),
+            reason,
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn counts_split_by_reason() {
+        let trace = Trace::from_events(vec![
+            drop_event(DropReason::NoRoute, 1),
+            drop_event(DropReason::NoRoute, 2),
+            drop_event(DropReason::TtlExpired, 3),
+            drop_event(DropReason::LinkDown, 4),
+            drop_event(DropReason::QueueOverflow, 5),
+            TraceEvent::PacketDelivered {
+                time: SimTime::from_millis(6),
+                id: PacketId::new(99),
+                node: NodeId::new(1),
+                hops: 4,
+                sent_at: SimTime::ZERO,
+            },
+        ]);
+        let counts = count_drops(&trace);
+        assert_eq!(counts.no_route, 2);
+        assert_eq!(counts.ttl_expired, 1);
+        assert_eq!(counts.link_down, 1);
+        assert_eq!(counts.queue_overflow, 1);
+        assert_eq!(counts.total(), 5);
+        assert_eq!(count_delivered(&trace), 1);
+    }
+
+    #[test]
+    fn empty_trace_counts_zero() {
+        let trace = Trace::new();
+        assert_eq!(count_drops(&trace), DropCounts::default());
+        assert_eq!(count_delivered(&trace), 0);
+    }
+}

@@ -1,0 +1,17 @@
+//! Post-hoc trace analysis: every quantity the paper's evaluation plots.
+
+pub mod convergence;
+pub mod drops;
+pub mod loops;
+pub mod series;
+pub mod stretch;
+pub mod summary;
+pub mod switchover;
+
+pub use convergence::{path_history, routing_convergence_time, FibReplay, PathHistory, PathOutcome};
+pub use drops::{count_delivered, count_drops, DropCounts};
+pub use loops::{analyze_loops, LoopEncounter, LoopFate, LoopReport};
+pub use series::{delay_series, mean_delay, mean_delay_series, mean_u64_series, throughput_series};
+pub use stretch::{flow_stretch, mean_stretch, PacketStretch};
+pub use summary::{summarize, RunSummary};
+pub use switchover::{stats_for_dest, switch_overs, SwitchOver, SwitchOverStats};

@@ -1,0 +1,115 @@
+//! The protocol family under study, as a runtime-selectable factory.
+
+use std::fmt;
+
+use netsim::protocol::RoutingProtocol;
+use serde::{Deserialize, Serialize};
+
+/// Which routing protocol a run uses.
+///
+/// `Rip`, `Dbf`, `Bgp` and `Bgp3` are the paper's four lines; `Spf` is the
+/// §6 link-state extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// RIP: best route only, 30 s periodic updates.
+    Rip,
+    /// Distributed Bellman-Ford: RIP + per-neighbor cache.
+    Dbf,
+    /// BGP with the recommended 30 s average MRAI.
+    Bgp,
+    /// BGP with a 3 s average MRAI (the paper's special parameterization).
+    Bgp3,
+    /// Link-state shortest-path-first (extension).
+    Spf,
+    /// Loop-free distance vector with diffusing computations (extension;
+    /// the paper's §2/§6 comparator).
+    Dual,
+}
+
+impl ProtocolKind {
+    /// The four protocols evaluated in the paper's figures.
+    pub const PAPER: [ProtocolKind; 4] = [
+        ProtocolKind::Rip,
+        ProtocolKind::Dbf,
+        ProtocolKind::Bgp,
+        ProtocolKind::Bgp3,
+    ];
+
+    /// All protocols including the link-state and DUAL extensions.
+    pub const ALL: [ProtocolKind; 6] = [
+        ProtocolKind::Rip,
+        ProtocolKind::Dbf,
+        ProtocolKind::Bgp,
+        ProtocolKind::Bgp3,
+        ProtocolKind::Spf,
+        ProtocolKind::Dual,
+    ];
+
+    /// Instantiates a protocol engine for one router.
+    #[must_use]
+    pub fn build(self) -> Box<dyn RoutingProtocol> {
+        match self {
+            ProtocolKind::Rip => Box::new(rip::Rip::new()),
+            ProtocolKind::Dbf => Box::new(dbf::Dbf::new()),
+            ProtocolKind::Bgp => Box::new(bgp::Bgp::new()),
+            ProtocolKind::Bgp3 => Box::new(bgp::Bgp::bgp3()),
+            ProtocolKind::Spf => Box::new(spf::Spf::new()),
+            ProtocolKind::Dual => Box::new(dual::Dual::new()),
+        }
+    }
+
+    /// The label used in reports and CSV columns.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolKind::Rip => "RIP",
+            ProtocolKind::Dbf => "DBF",
+            ProtocolKind::Bgp => "BGP",
+            ProtocolKind::Bgp3 => "BGP-3",
+            ProtocolKind::Spf => "SPF",
+            ProtocolKind::Dual => "DUAL",
+        }
+    }
+
+    /// Whether convergence is throttled by long (tens of seconds) timers,
+    /// which informs the warm-up quiescence threshold.
+    #[must_use]
+    pub fn slow_timers(self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::Rip | ProtocolKind::Dbf | ProtocolKind::Bgp
+        )
+    }
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_the_right_engines() {
+        assert_eq!(ProtocolKind::Rip.build().name(), "rip");
+        assert_eq!(ProtocolKind::Dbf.build().name(), "dbf");
+        assert_eq!(ProtocolKind::Bgp.build().name(), "bgp");
+        assert_eq!(ProtocolKind::Bgp3.build().name(), "bgp");
+        assert_eq!(ProtocolKind::Spf.build().name(), "spf");
+        assert_eq!(ProtocolKind::Dual.build().name(), "dual");
+    }
+
+    #[test]
+    fn labels_are_the_paper_names() {
+        let labels: Vec<&str> = ProtocolKind::PAPER.iter().map(|p| p.label()).collect();
+        assert_eq!(labels, ["RIP", "DBF", "BGP", "BGP-3"]);
+    }
+
+    #[test]
+    fn paper_set_is_a_prefix_of_all() {
+        assert_eq!(&ProtocolKind::ALL[..4], &ProtocolKind::PAPER[..]);
+    }
+}

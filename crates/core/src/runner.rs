@@ -1,0 +1,343 @@
+//! The single-run engine: warm up, verify steady state, start traffic,
+//! break something, record everything.
+
+use std::error::Error;
+use std::fmt;
+
+use netsim::error::BuildError;
+use netsim::ident::NodeId;
+use netsim::rng::SimRng;
+use netsim::simulator::SimStats;
+use netsim::time::{SimDuration, SimTime};
+use netsim::trace::{Trace, TraceEvent};
+use topology::graph::Graph;
+use topology::instantiate::to_simulator_builder;
+
+use crate::experiment::{ExperimentConfig, TrafficMode};
+use crate::failure::{choose_failure, FailureSelection};
+use crate::transport::{GoBackNSink, GoBackNSource, WindowFlowReport};
+
+/// One sender/receiver pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flow {
+    /// Traffic source router.
+    pub sender: NodeId,
+    /// Traffic sink router.
+    pub receiver: NodeId,
+}
+
+/// Everything a finished run produced.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The full event trace.
+    pub trace: Trace,
+    /// The topology the run used.
+    pub graph: Graph,
+    /// The traffic flows (one in the paper's setup).
+    pub flows: Vec<Flow>,
+    /// What failed.
+    pub failure: FailureSelection,
+    /// When the physical failure was injected.
+    pub t_fail: SimTime,
+    /// The configured failure-detection latency.
+    pub detection: SimDuration,
+    /// Traffic active window `[start, end)`.
+    pub traffic_window: (SimTime, SimTime),
+    /// When warm-up ended (routing quiescent).
+    pub warmup_end: SimTime,
+    /// Engine counters.
+    pub stats: SimStats,
+    /// Per-flow transfer reports (go-back-N mode only; empty for CBR).
+    pub flow_reports: Vec<WindowFlowReport>,
+}
+
+/// Why a run could not be executed.
+#[derive(Debug)]
+pub enum RunError {
+    /// The configuration failed validation.
+    Invalid(String),
+    /// The network could not be assembled.
+    Build(BuildError),
+    /// Routing did not become quiescent within the warm-up deadline.
+    NotQuiescent {
+        /// The deadline that was exceeded.
+        deadline: SimTime,
+    },
+    /// The warmed-up FIBs did not yield a complete sender→receiver path.
+    NoPath(Flow),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Invalid(why) => write!(f, "invalid experiment: {why}"),
+            RunError::Build(e) => write!(f, "network assembly failed: {e}"),
+            RunError::NotQuiescent { deadline } => {
+                write!(f, "routing not quiescent by {deadline}")
+            }
+            RunError::NoPath(flow) => write!(
+                f,
+                "no complete path from {} to {} after warm-up",
+                flow.sender, flow.receiver
+            ),
+        }
+    }
+}
+
+impl Error for RunError {}
+
+impl From<BuildError> for RunError {
+    fn from(e: BuildError) -> Self {
+        RunError::Build(e)
+    }
+}
+
+/// Executes one run.
+///
+/// The run is a pure function of `config` (including its seed): the same
+/// configuration always produces the identical trace.
+///
+/// # Errors
+///
+/// See [`RunError`].
+///
+/// # Examples
+///
+/// ```
+/// use convergence::experiment::ExperimentConfig;
+/// use convergence::protocols::ProtocolKind;
+/// use convergence::runner::run;
+/// use topology::mesh::MeshDegree;
+///
+/// let result = run(&ExperimentConfig::paper(ProtocolKind::Spf, MeshDegree::D6, 1))?;
+/// assert_eq!(result.flows.len(), 1);
+/// assert_eq!(result.failure.edges.len(), 1);
+/// # Ok::<(), convergence::runner::RunError>(())
+/// ```
+pub fn run(config: &ExperimentConfig) -> Result<RunResult, RunError> {
+    config.validate().map_err(RunError::Invalid)?;
+    let realized = config.topology.realize();
+    let (mut builder, link_map) = to_simulator_builder(&realized.graph, config.link)?;
+    builder.seed(config.seed);
+    let mut sim = builder.build()?;
+    for node in realized.graph.nodes() {
+        let instance = match &config.protocol_override {
+            Some(factory) => factory.build(),
+            None => config.protocol.build(),
+        };
+        sim.install_protocol(node, instance)?;
+    }
+    sim.start();
+
+    // Experiment-level randomness is independent of the protocol RNG so
+    // attachment/failure choices do not perturb protocol timing.
+    let mut exp_rng = SimRng::seed_from(config.seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+
+    // ---- Warm-up: run until no FIB has changed for `quiet`. -------------
+    let quiet = config.warmup.quiet;
+    let deadline = SimTime::ZERO + config.warmup.max;
+    let mut cursor = 0usize; // first unscanned trace event
+    let mut last_change = SimTime::ZERO;
+    let mut now = SimTime::ZERO;
+    loop {
+        now += SimDuration::from_secs(1);
+        if now > deadline {
+            return Err(RunError::NotQuiescent { deadline });
+        }
+        sim.run_until(now);
+        let events = sim.trace().events();
+        for event in &events[cursor..] {
+            if matches!(event, TraceEvent::RouteChanged { .. }) {
+                last_change = event.time();
+            }
+        }
+        cursor = events.len();
+        if now.saturating_since(last_change) >= quiet {
+            break;
+        }
+    }
+    let warmup_end = now;
+
+    // ---- Flows and steady-state verification. ---------------------------
+    // Closed-loop flows install one agent per endpoint, so their endpoints
+    // must be pairwise distinct.
+    let distinct_endpoints = matches!(config.traffic.mode, TrafficMode::GoBackN(_));
+    let mut flows: Vec<Flow> = Vec::with_capacity(config.traffic.flows);
+    for _ in 0..config.traffic.flows {
+        let flow = loop {
+            let sender = *exp_rng.choose(&realized.sender_candidates);
+            let receiver = *exp_rng.choose(&realized.receiver_candidates);
+            if sender == receiver {
+                continue;
+            }
+            if distinct_endpoints
+                && flows
+                    .iter()
+                    .any(|f| f.sender == sender || f.receiver == receiver)
+            {
+                continue;
+            }
+            break Flow { sender, receiver };
+        };
+        if !sim.forwarding_path(flow.sender, flow.receiver).is_complete() {
+            return Err(RunError::NoPath(flow));
+        }
+        flows.push(flow);
+    }
+
+    // ---- Failure selection (on the first flow's live path). -------------
+    let failure = choose_failure(
+        &config.failure,
+        &sim,
+        &realized.graph,
+        flows[0].sender,
+        flows[0].receiver,
+        &mut exp_rng,
+    );
+
+    // ---- Traffic. ---------------------------------------------------------
+    let t_fail = warmup_end + config.traffic.lead;
+    let t_start = warmup_end;
+    let t_end = t_fail + config.traffic.tail;
+    match config.traffic.mode {
+        TrafficMode::Cbr => {
+            let gap = SimDuration::from_nanos(1_000_000_000 / config.traffic.rate_pps);
+            for flow in &flows {
+                let mut t = t_start;
+                while t < t_end {
+                    sim.schedule_packet(
+                        t,
+                        flow.sender,
+                        flow.receiver,
+                        config.traffic.packet_bytes,
+                        config.traffic.ttl,
+                    );
+                    t += gap;
+                }
+            }
+        }
+        TrafficMode::Poisson => {
+            // Exponential inter-arrival times with the configured mean
+            // rate, drawn from the experiment RNG (not the protocol RNG,
+            // so routing timing is unaffected by the workload draw).
+            let mean_gap_s = 1.0 / config.traffic.rate_pps as f64;
+            for flow in &flows {
+                let mut t = t_start;
+                loop {
+                    let u = exp_rng.gen_unit().max(1e-12);
+                    let gap = SimDuration::from_secs_f64(-mean_gap_s * u.ln());
+                    t += gap;
+                    if t >= t_end {
+                        break;
+                    }
+                    sim.schedule_packet(
+                        t,
+                        flow.sender,
+                        flow.receiver,
+                        config.traffic.packet_bytes,
+                        config.traffic.ttl,
+                    );
+                }
+            }
+        }
+        TrafficMode::GoBackN(gbn) => {
+            for (i, flow) in flows.iter().enumerate() {
+                let id = i as u16;
+                sim.install_app(
+                    flow.receiver,
+                    Box::new(GoBackNSink::new(gbn, flow.sender, id)),
+                )?;
+                // Installing the source second starts the transfer now
+                // (warm-up end), `lead` before the failure.
+                sim.install_app(
+                    flow.sender,
+                    Box::new(GoBackNSource::new(gbn, flow.receiver, id)),
+                )?;
+            }
+        }
+    }
+
+    // ---- Failure injection and the main phase. ---------------------------
+    for action in &failure.timeline {
+        let link = link_map[&action.edge];
+        let at = t_fail + action.offset;
+        if action.up {
+            sim.schedule_link_recovery(at, link)?;
+        } else {
+            sim.schedule_link_failure(at, link)?;
+        }
+    }
+    sim.run_until(t_end + config.drain);
+
+    let stats = sim.stats();
+    let mut flow_reports = Vec::new();
+    if matches!(config.traffic.mode, TrafficMode::GoBackN(_)) {
+        for flow in &flows {
+            let agent = sim.take_app(flow.sender).expect("source agent installed");
+            let source = agent
+                .as_any()
+                .downcast_ref::<GoBackNSource>()
+                .expect("sender hosts a go-back-N source");
+            flow_reports.push(source.report());
+        }
+    }
+    Ok(RunResult {
+        trace: sim.into_trace(),
+        graph: realized.graph,
+        flows,
+        failure,
+        t_fail,
+        detection: config.link.detection_delay,
+        traffic_window: (t_start, t_end),
+        warmup_end,
+        stats,
+        flow_reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentConfig;
+    use crate::protocols::ProtocolKind;
+    use topology::mesh::MeshDegree;
+
+    #[test]
+    fn spf_run_completes_and_conserves_packets() {
+        let result = run(&ExperimentConfig::paper(ProtocolKind::Spf, MeshDegree::D4, 3)).unwrap();
+        let s = result.stats;
+        assert_eq!(s.packets_injected, 20 * 50); // 20 pps x 50 s window
+        assert_eq!(s.packets_injected, s.packets_delivered + s.packets_dropped);
+        assert_eq!(result.failure.edges.len(), 1);
+        // The failed edge lies on the pre-failure forwarding path.
+        let edge = result.failure.edges[0];
+        assert!(result.graph.has_edge(edge.a, edge.b));
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let cfg = ExperimentConfig::paper(ProtocolKind::Dbf, MeshDegree::D5, 9);
+        let a = run(&cfg).unwrap();
+        let b = run(&cfg).unwrap();
+        assert_eq!(a.flows, b.flows);
+        assert_eq!(a.failure, b.failure);
+        assert_eq!(a.t_fail, b.t_fail);
+        assert_eq!(a.trace.len(), b.trace.len());
+    }
+
+    #[test]
+    fn different_seeds_vary_the_scenario() {
+        let a = run(&ExperimentConfig::paper(ProtocolKind::Spf, MeshDegree::D4, 1)).unwrap();
+        let b = run(&ExperimentConfig::paper(ProtocolKind::Spf, MeshDegree::D4, 2)).unwrap();
+        assert!(a.flows != b.flows || a.failure != b.failure);
+    }
+
+    #[test]
+    fn no_failure_plan_drops_nothing() {
+        let mut cfg = ExperimentConfig::paper(ProtocolKind::Spf, MeshDegree::D4, 5);
+        cfg.failure = crate::failure::FailurePlan::None;
+        let result = run(&cfg).unwrap();
+        assert_eq!(result.stats.packets_dropped, 0);
+        assert!(result.failure.edges.is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests over the experiment harness and metrics.
+
+use convergence::metrics::convergence::{FibReplay, PathOutcome};
+use convergence::metrics::drops::{count_delivered, count_drops};
+use convergence::metrics::loops::analyze_loops;
+use convergence::metrics::series::throughput_series;
+use convergence::prelude::*;
+use netsim::simulator::ForwardingPath;
+use proptest::prelude::*;
+use topology::mesh::MeshDegree;
+
+fn degree_strategy() -> impl Strategy<Value = MeshDegree> {
+    prop::sample::select(vec![MeshDegree::D3, MeshDegree::D4, MeshDegree::D6])
+}
+
+fn protocol_strategy() -> impl Strategy<Value = ProtocolKind> {
+    prop::sample::select(vec![
+        ProtocolKind::Dbf,
+        ProtocolKind::Spf,
+        ProtocolKind::Bgp3,
+        ProtocolKind::Dual,
+    ])
+}
+
+proptest! {
+    // Each case is a full simulation; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Packet conservation holds for every protocol/degree/seed, and the
+    /// trace agrees with the engine counters.
+    #[test]
+    fn conservation_and_trace_consistency(
+        protocol in protocol_strategy(),
+        degree in degree_strategy(),
+        seed in 0u64..10_000,
+    ) {
+        let cfg = ExperimentConfig::paper(protocol, degree, seed);
+        let result = run(&cfg).expect("run succeeds");
+        let drops = count_drops(&result.trace);
+        let delivered = count_delivered(&result.trace);
+        prop_assert_eq!(result.stats.packets_injected, delivered + drops.total());
+        prop_assert_eq!(result.stats.packets_delivered, delivered);
+        prop_assert_eq!(result.stats.packets_dropped, drops.total());
+    }
+
+    /// Replaying the RouteChanged trace reconstructs exactly the live
+    /// FIB state for every (src, dst) pair at the end of the run.
+    #[test]
+    fn fib_replay_matches_live_simulator(
+        degree in degree_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        use netsim::link::LinkConfig;
+        use netsim::time::SimTime;
+        use topology::instantiate::to_simulator_builder;
+        use topology::mesh::Mesh;
+
+        let mesh = Mesh::regular(5, 5, degree);
+        let (mut builder, links) =
+            to_simulator_builder(mesh.graph(), LinkConfig::default()).unwrap();
+        builder.seed(seed);
+        let mut sim = builder.build().unwrap();
+        for node in mesh.graph().nodes() {
+            sim.install_protocol(node, Box::new(dbf::Dbf::new())).unwrap();
+        }
+        sim.start();
+        sim.run_until(SimTime::from_secs(70));
+        // Perturb: fail an arbitrary link, keep running.
+        let pick = (seed as usize) % mesh.graph().num_edges();
+        let edge = mesh.graph().edges().nth(pick).unwrap();
+        sim.schedule_link_failure(SimTime::from_secs(80), links[&edge]).unwrap();
+        sim.run_until(SimTime::from_secs(130));
+
+        let mut replay = FibReplay::new(mesh.graph().num_nodes());
+        for event in sim.trace() {
+            replay.apply(event);
+        }
+        for src in mesh.graph().nodes() {
+            for dst in mesh.graph().nodes() {
+                if src == dst {
+                    continue;
+                }
+                prop_assert_eq!(
+                    replay.next_hop(src, dst),
+                    sim.fib(src).next_hop(dst),
+                    "replay mismatch at {} -> {}", src, dst
+                );
+                let live = sim.forwarding_path(src, dst);
+                let replayed = replay.walk(src, dst);
+                let agree = matches!(
+                    (&live, &replayed),
+                    (ForwardingPath::Complete(_), PathOutcome::Complete(_))
+                        | (ForwardingPath::Loop(_), PathOutcome::Loop(_))
+                        | (ForwardingPath::Broken(_), PathOutcome::Broken(_))
+                );
+                prop_assert!(agree, "walk outcome mismatch at {} -> {}", src, dst);
+            }
+        }
+    }
+
+    /// The throughput series sums to the delivered-in-window count, and
+    /// the window fully covers the traffic when the tail is inside it.
+    #[test]
+    fn throughput_series_sums_to_deliveries(seed in 0u64..10_000) {
+        let cfg = ExperimentConfig::paper(ProtocolKind::Spf, MeshDegree::D5, seed);
+        let result = run(&cfg).expect("run succeeds");
+        let series = throughput_series(&result.trace, result.t_fail, -10, 41);
+        let sum: u64 = series.iter().map(|&(_, v)| v).sum();
+        prop_assert_eq!(sum, count_delivered(&result.trace));
+    }
+
+    /// Loop forensics and TTL drops agree: every TTL-expired packet
+    /// appears in the loop report as TTL-killed.
+    #[test]
+    fn loop_report_covers_every_ttl_drop(
+        degree in degree_strategy(),
+        seed in 0u64..10_000,
+    ) {
+        let cfg = ExperimentConfig::paper(ProtocolKind::Bgp, degree, seed);
+        let result = run(&cfg).expect("run succeeds");
+        let report = analyze_loops(&result.trace);
+        let ttl_drops = count_drops(&result.trace).ttl_expired;
+        prop_assert_eq!(report.ttl_killed() as u64, ttl_drops);
+    }
+
+    /// Summaries are invariant under recomputation (pure functions of the
+    /// trace).
+    #[test]
+    fn summarize_is_pure(seed in 0u64..10_000) {
+        let cfg = ExperimentConfig::paper(ProtocolKind::Dbf, MeshDegree::D4, seed);
+        let result = run(&cfg).expect("run succeeds");
+        prop_assert_eq!(summarize(&result), summarize(&result));
+    }
+}

@@ -1,0 +1,134 @@
+//! The per-neighbor distance-vector cache that distinguishes DBF from RIP.
+//!
+//! Keeping the latest vector from *every* neighbor gives a router an
+//! instant answer to "who else can reach this destination?" — the zero-time
+//! path switch-over of paper §4.1. The cache stores advertisements verbatim
+//! (including poisoned infinities), so a neighbor that routes through us
+//! correctly offers no alternate.
+
+use std::collections::BTreeMap;
+
+use netsim::ident::NodeId;
+use routing_core::Metric;
+
+/// Latest advertised distance vectors, per neighbor.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborCache {
+    /// `vectors[neighbor][dest]` = advertised metric; `None` = never heard.
+    vectors: BTreeMap<NodeId, Vec<Option<Metric>>>,
+    num_dests: usize,
+}
+
+impl NeighborCache {
+    /// Creates a cache for `num_dests` destinations.
+    #[must_use]
+    pub fn new(num_dests: usize) -> Self {
+        NeighborCache {
+            vectors: BTreeMap::new(),
+            num_dests,
+        }
+    }
+
+    /// Records that `neighbor` advertised `metric` for `dest`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest` is out of range.
+    pub fn update(&mut self, neighbor: NodeId, dest: NodeId, metric: Metric) {
+        assert!(dest.index() < self.num_dests, "{dest} out of range");
+        let vector = self
+            .vectors
+            .entry(neighbor)
+            .or_insert_with(|| vec![None; self.num_dests]);
+        vector[dest.index()] = Some(metric);
+    }
+
+    /// The advertised metric from `neighbor` for `dest`, if any.
+    #[must_use]
+    pub fn advertised(&self, neighbor: NodeId, dest: NodeId) -> Option<Metric> {
+        *self.vectors.get(&neighbor)?.get(dest.index())?
+    }
+
+    /// Forgets everything learned from `neighbor` (link failure or
+    /// staleness timeout).
+    pub fn invalidate(&mut self, neighbor: NodeId) {
+        self.vectors.remove(&neighbor);
+    }
+
+    /// Returns `(neighbor, advertised_metric)` candidates for `dest`,
+    /// restricted to neighbors accepted by `usable`.
+    pub fn candidates<'a, F>(
+        &'a self,
+        dest: NodeId,
+        usable: F,
+    ) -> impl Iterator<Item = (NodeId, Metric)> + 'a
+    where
+        F: Fn(NodeId) -> bool + 'a,
+    {
+        self.vectors.iter().filter_map(move |(&neighbor, vector)| {
+            if !usable(neighbor) {
+                return None;
+            }
+            let metric = (*vector.get(dest.index())?)?;
+            Some((neighbor, metric))
+        })
+    }
+
+    /// Neighbors currently present in the cache.
+    pub fn known_neighbors(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.vectors.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn update_and_lookup() {
+        let mut c = NeighborCache::new(4);
+        c.update(n(1), n(3), Metric::new(2));
+        assert_eq!(c.advertised(n(1), n(3)), Some(Metric::new(2)));
+        assert_eq!(c.advertised(n(1), n(2)), None);
+        assert_eq!(c.advertised(n(2), n(3)), None);
+    }
+
+    #[test]
+    fn poisoned_entries_are_remembered() {
+        let mut c = NeighborCache::new(4);
+        c.update(n(1), n(3), Metric::INFINITY);
+        assert_eq!(c.advertised(n(1), n(3)), Some(Metric::INFINITY));
+    }
+
+    #[test]
+    fn invalidate_forgets_whole_vector() {
+        let mut c = NeighborCache::new(4);
+        c.update(n(1), n(0), Metric::new(1));
+        c.update(n(1), n(2), Metric::new(5));
+        c.invalidate(n(1));
+        assert_eq!(c.advertised(n(1), n(0)), None);
+        assert_eq!(c.known_neighbors().count(), 0);
+    }
+
+    #[test]
+    fn candidates_respect_usability_filter() {
+        let mut c = NeighborCache::new(4);
+        c.update(n(1), n(3), Metric::new(2));
+        c.update(n(2), n(3), Metric::new(1));
+        let all: Vec<_> = c.candidates(n(3), |_| true).collect();
+        assert_eq!(all.len(), 2);
+        let only2: Vec<_> = c.candidates(n(3), |nb| nb == n(2)).collect();
+        assert_eq!(only2, vec![(n(2), Metric::new(1))]);
+    }
+
+    #[test]
+    fn candidates_skip_unknown_destinations() {
+        let mut c = NeighborCache::new(4);
+        c.update(n(1), n(0), Metric::new(1));
+        assert_eq!(c.candidates(n(3), |_| true).count(), 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! DBF configuration.
+
+use netsim::time::SimDuration;
+use rip::config::SplitHorizon;
+use routing_core::damping::DampingMode;
+use serde::{Deserialize, Serialize};
+
+/// Tunable DBF parameters.
+///
+/// DBF is RIP plus a per-neighbor cache (paper §3): "the only difference
+/// between DBF and RIP is that a router keeps a cache of the latest routing
+/// update learned from each of its neighbors", so the timer structure is
+/// the same and the defaults match [`rip::RipConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DbfConfig {
+    /// Interval between full-table periodic updates.
+    pub periodic_interval: SimDuration,
+    /// Uniform jitter applied to each periodic interval (±jitter).
+    pub periodic_jitter: SimDuration,
+    /// Shortest triggered-update damping window.
+    pub triggered_min: SimDuration,
+    /// Longest triggered-update damping window.
+    pub triggered_max: SimDuration,
+    /// Neighbor staleness: a neighbor whose vector is not refreshed within
+    /// this span is treated as silent and its cache invalidated.
+    pub neighbor_timeout: SimDuration,
+    /// Loop-prevention mode for outgoing updates.
+    pub split_horizon: SplitHorizon,
+    /// Triggered-update damping semantics (see [`DampingMode`]).
+    pub damping_mode: DampingMode,
+}
+
+impl Default for DbfConfig {
+    fn default() -> Self {
+        DbfConfig {
+            periodic_interval: SimDuration::from_secs(30),
+            periodic_jitter: SimDuration::from_secs(3),
+            triggered_min: SimDuration::from_secs(1),
+            triggered_max: SimDuration::from_secs(5),
+            neighbor_timeout: SimDuration::from_secs(180),
+            split_horizon: SplitHorizon::PoisonReverse,
+            damping_mode: DampingMode::FirstImmediate,
+        }
+    }
+}
+
+impl DbfConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.periodic_interval.is_zero() {
+            return Err("periodic_interval must be positive".into());
+        }
+        if self.periodic_jitter >= self.periodic_interval {
+            return Err("periodic_jitter must be below periodic_interval".into());
+        }
+        if self.triggered_min > self.triggered_max {
+            return Err("triggered_min exceeds triggered_max".into());
+        }
+        if self.neighbor_timeout < self.periodic_interval * 2 {
+            return Err("neighbor_timeout must cover at least two periodic intervals".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_mirror_rip() {
+        let dbf = DbfConfig::default();
+        let rip = rip::RipConfig::default();
+        dbf.validate().unwrap();
+        assert_eq!(dbf.periodic_interval, rip.periodic_interval);
+        assert_eq!(dbf.triggered_min, rip.triggered_min);
+        assert_eq!(dbf.triggered_max, rip.triggered_max);
+        assert_eq!(dbf.split_horizon, rip.split_horizon);
+        assert_eq!(dbf.damping_mode, rip.damping_mode);
+    }
+
+    #[test]
+    fn validation_rejects_bad_timers() {
+        let cfg = DbfConfig {
+            neighbor_timeout: SimDuration::from_secs(10),
+            ..DbfConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = DbfConfig {
+            triggered_min: SimDuration::from_secs(30),
+            ..DbfConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

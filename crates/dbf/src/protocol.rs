@@ -1,0 +1,338 @@
+//! The DBF protocol engine.
+
+use netsim::ident::NodeId;
+use netsim::protocol::{Payload, RoutingProtocol, TimerId, TimerToken};
+use netsim::simulator::ProtocolContext;
+use netsim::time::SimDuration;
+use routing_core::damping::{TriggerAction, TriggeredScheduler};
+use routing_core::message::{pack_entries, DvEntry, DvMessage};
+use routing_core::metric::Metric;
+use routing_core::select_best;
+use rip::config::SplitHorizon;
+use std::collections::BTreeMap;
+
+use crate::cache::NeighborCache;
+use crate::config::DbfConfig;
+
+mod timer {
+    pub const PERIODIC: u64 = 1;
+    pub const TRIGGERED_WINDOW: u64 = 2;
+    pub const NEIGHBOR_TIMEOUT: u64 = 3;
+}
+
+/// The selected route for one destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectedRoute {
+    /// Distance through the selected next hop.
+    pub metric: Metric,
+    /// The selected next hop (`None` for the self route).
+    pub next_hop: Option<NodeId>,
+}
+
+/// A Distributed Bellman-Ford instance for one router.
+///
+/// Identical to [`rip::Rip`] except for the per-neighbor vector cache: when
+/// the current next hop to a destination is lost, DBF *instantly* selects
+/// the best alternate from the cache instead of waiting for the next
+/// periodic update — the paper's "zero time path switch-over" (§4.1).
+#[derive(Debug)]
+pub struct Dbf {
+    config: DbfConfig,
+    cache: NeighborCache,
+    selected: Vec<Option<SelectedRoute>>,
+    changed: Vec<bool>,
+    neighbor_timers: BTreeMap<NodeId, TimerId>,
+    scheduler: TriggeredScheduler,
+}
+
+impl Dbf {
+    /// Creates an instance with the paper's default parameters.
+    #[must_use]
+    pub fn new() -> Self {
+        Dbf::with_config(DbfConfig::default())
+    }
+
+    /// Creates an instance with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn with_config(config: DbfConfig) -> Self {
+        config.validate().expect("invalid DBF configuration");
+        Dbf {
+            scheduler: TriggeredScheduler::new(
+                config.damping_mode,
+                config.triggered_min,
+                config.triggered_max,
+            ),
+            config,
+            cache: NeighborCache::default(),
+            selected: Vec::new(),
+            changed: Vec::new(),
+            neighbor_timers: BTreeMap::new(),
+        }
+    }
+
+    /// The currently selected route for `dest` (for tests and forensics).
+    #[must_use]
+    pub fn selected(&self, dest: NodeId) -> Option<SelectedRoute> {
+        self.selected.get(dest.index()).copied().flatten()
+    }
+
+    /// Re-runs route selection for `dest` against the cache, updating the
+    /// FIB and the change flag when the outcome differs.
+    fn recompute(&mut self, ctx: &mut ProtocolContext<'_>, dest: NodeId) {
+        if dest == ctx.node() {
+            return;
+        }
+        let best = select_best(
+            self.cache
+                .candidates(dest, |n| ctx.neighbor_up(n))
+                .map(|(n, advertised)| (n, advertised + ctx.link_cost(n))),
+        )
+        .map(|(next_hop, metric)| SelectedRoute {
+            metric,
+            next_hop: Some(next_hop),
+        });
+        let slot = &mut self.selected[dest.index()];
+        if *slot == best {
+            return;
+        }
+        *slot = best;
+        self.changed[dest.index()] = true;
+        match best {
+            Some(route) => ctx.install_route(dest, route.next_hop.expect("non-self route")),
+            None => ctx.remove_route(dest),
+        }
+    }
+
+    fn changed_dests(&self) -> Vec<NodeId> {
+        self.changed
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c)
+            .map(|(i, _)| NodeId::new(i as u32))
+            .collect()
+    }
+
+    fn clear_changed(&mut self) {
+        self.changed.fill(false);
+    }
+
+    /// Builds the advertisement for one neighbor under split horizon.
+    ///
+    /// Unlike RIP's table dump, DBF advertises the *full vector*: a
+    /// destination with no selected route is announced with an infinite
+    /// metric, which is how withdrawals reach neighbors whose caches would
+    /// otherwise hold the stale finite entry forever.
+    fn build_entries(&self, neighbor: NodeId, only: Option<&[NodeId]>) -> Vec<DvEntry> {
+        self.selected
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                let dest = NodeId::new(i as u32);
+                if only.is_some_and(|set| !set.contains(&dest)) {
+                    return None;
+                }
+                let metric = match slot {
+                    None => Metric::INFINITY,
+                    Some(route) => {
+                        let toward_neighbor = route.next_hop == Some(neighbor);
+                        match (toward_neighbor, self.config.split_horizon) {
+                            (true, SplitHorizon::Simple) => return None,
+                            (true, SplitHorizon::PoisonReverse) => Metric::INFINITY,
+                            _ => route.metric,
+                        }
+                    }
+                };
+                Some(DvEntry { dest, metric })
+            })
+            .collect()
+    }
+
+    fn send_update(&self, ctx: &mut ProtocolContext<'_>, to: NodeId, only: Option<&[NodeId]>) {
+        for message in pack_entries(self.build_entries(to, only)) {
+            ctx.send(to, Box::new(message));
+        }
+    }
+
+    fn send_to_all_up(&self, ctx: &mut ProtocolContext<'_>, only: Option<&[NodeId]>) {
+        for neighbor in ctx.neighbors() {
+            if ctx.neighbor_up(neighbor) {
+                self.send_update(ctx, neighbor, only);
+            }
+        }
+    }
+
+    fn after_changes(&mut self, ctx: &mut ProtocolContext<'_>) {
+        if self.changed_dests().is_empty() {
+            return;
+        }
+        match self.scheduler.on_change(ctx.rng()) {
+            TriggerAction::SendNowThenHold(window) => {
+                self.flush_changed(ctx);
+                ctx.set_timer(window, TimerToken::compose(timer::TRIGGERED_WINDOW, 0));
+            }
+            TriggerAction::HoldFor(window) => {
+                ctx.set_timer(window, TimerToken::compose(timer::TRIGGERED_WINDOW, 0));
+            }
+            TriggerAction::AlreadyPending => {}
+        }
+    }
+
+    fn flush_changed(&mut self, ctx: &mut ProtocolContext<'_>) {
+        let changed = self.changed_dests();
+        if !changed.is_empty() {
+            self.send_to_all_up(ctx, Some(&changed));
+            self.clear_changed();
+        }
+    }
+
+    fn refresh_neighbor_timer(&mut self, ctx: &mut ProtocolContext<'_>, neighbor: NodeId) {
+        let id = ctx.set_timer(
+            self.config.neighbor_timeout,
+            TimerToken::compose(timer::NEIGHBOR_TIMEOUT, neighbor.index() as u64),
+        );
+        if let Some(old) = self.neighbor_timers.insert(neighbor, id) {
+            ctx.cancel_timer(old);
+        }
+    }
+
+    fn drop_neighbor(&mut self, ctx: &mut ProtocolContext<'_>, neighbor: NodeId) {
+        self.cache.invalidate(neighbor);
+        if let Some(t) = self.neighbor_timers.remove(&neighbor) {
+            ctx.cancel_timer(t);
+        }
+        for i in 0..self.selected.len() {
+            self.recompute(ctx, NodeId::new(i as u32));
+        }
+        self.after_changes(ctx);
+    }
+}
+
+impl Default for Dbf {
+    fn default() -> Self {
+        Dbf::new()
+    }
+}
+
+impl RoutingProtocol for Dbf {
+    fn name(&self) -> &'static str {
+        "dbf"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn on_start(&mut self, ctx: &mut ProtocolContext<'_>) {
+        let n = ctx.num_nodes();
+        self.cache = NeighborCache::new(n);
+        self.selected = vec![None; n];
+        self.changed = vec![false; n];
+        // Self route, announced like any change.
+        self.selected[ctx.node().index()] = Some(SelectedRoute {
+            metric: Metric::ZERO,
+            next_hop: None,
+        });
+        self.changed[ctx.node().index()] = true;
+        let first = ctx
+            .rng()
+            .gen_duration(SimDuration::ZERO, self.config.periodic_interval);
+        ctx.set_timer(first, TimerToken::compose(timer::PERIODIC, 0));
+        self.after_changes(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut ProtocolContext<'_>, from: NodeId, payload: &dyn Payload) {
+        let Some(message) = payload.as_any().downcast_ref::<DvMessage>() else {
+            debug_assert!(false, "DBF received a non-DV payload");
+            return;
+        };
+        self.refresh_neighbor_timer(ctx, from);
+        for &entry in &message.entries {
+            if entry.dest == ctx.node() {
+                continue;
+            }
+            self.cache.update(from, entry.dest, entry.metric);
+            self.recompute(ctx, entry.dest);
+        }
+        self.after_changes(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ProtocolContext<'_>, token: TimerToken) {
+        match token.kind() {
+            timer::PERIODIC => {
+                self.send_to_all_up(ctx, None);
+                self.clear_changed();
+                let jitter = self.config.periodic_jitter;
+                let next = ctx.rng().gen_duration(
+                    self.config.periodic_interval - jitter,
+                    self.config.periodic_interval + jitter,
+                );
+                ctx.set_timer(next, TimerToken::compose(timer::PERIODIC, 0));
+            }
+            timer::TRIGGERED_WINDOW => {
+                let has_changes = !self.changed_dests().is_empty();
+                let (flush, rearm) = self.scheduler.on_timer_expired(ctx.rng(), has_changes);
+                if flush {
+                    self.flush_changed(ctx);
+                }
+                if let Some(window) = rearm {
+                    ctx.set_timer(window, TimerToken::compose(timer::TRIGGERED_WINDOW, 0));
+                }
+            }
+            timer::NEIGHBOR_TIMEOUT => {
+                let neighbor = NodeId::new(token.arg() as u32);
+                self.neighbor_timers.remove(&neighbor);
+                self.cache.invalidate(neighbor);
+                for i in 0..self.selected.len() {
+                    self.recompute(ctx, NodeId::new(i as u32));
+                }
+                self.after_changes(ctx);
+            }
+            other => debug_assert!(false, "unknown DBF timer kind {other}"),
+        }
+    }
+
+    fn on_link_down(&mut self, ctx: &mut ProtocolContext<'_>, neighbor: NodeId) {
+        // The instant switch-over: invalidate the neighbor and re-select
+        // every destination from the remaining cached vectors, updating the
+        // FIB in the same event.
+        self.drop_neighbor(ctx, neighbor);
+    }
+
+    fn on_link_up(&mut self, ctx: &mut ProtocolContext<'_>, neighbor: NodeId) {
+        self.send_update(ctx, neighbor, None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selected_route_equality_drives_change_detection() {
+        let a = SelectedRoute {
+            metric: Metric::new(2),
+            next_hop: Some(NodeId::new(1)),
+        };
+        let b = SelectedRoute {
+            metric: Metric::new(2),
+            next_hop: Some(NodeId::new(1)),
+        };
+        let c = SelectedRoute {
+            metric: Metric::new(2),
+            next_hop: Some(NodeId::new(3)),
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn new_instance_has_empty_state() {
+        let dbf = Dbf::new();
+        assert_eq!(dbf.name(), "dbf");
+        assert!(dbf.selected(NodeId::new(0)).is_none());
+    }
+}

@@ -1,0 +1,83 @@
+//! DUAL wire messages.
+
+use netsim::ident::NodeId;
+use netsim::protocol::Payload;
+use routing_core::metric::Metric;
+use serde::{Deserialize, Serialize};
+
+/// The three DUAL message kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DualKind {
+    /// Unsolicited distance report (topology/route change).
+    Update,
+    /// The sender lost its feasible successor and starts a diffusing
+    /// computation; the receiver must (eventually) reply.
+    Query,
+    /// Answer to a query, carrying the replier's distance.
+    Reply,
+}
+
+/// One route entry: destination and the sender's distance to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DualEntry {
+    /// The destination.
+    pub dest: NodeId,
+    /// The sender's current distance (possibly infinite).
+    pub metric: Metric,
+}
+
+/// A DUAL message: a kind plus a batch of entries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DualMessage {
+    /// What the entries mean.
+    pub kind: DualKind,
+    /// The affected destinations.
+    pub entries: Vec<DualEntry>,
+}
+
+impl DualMessage {
+    /// Creates a message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty.
+    #[must_use]
+    pub fn new(kind: DualKind, entries: Vec<DualEntry>) -> Self {
+        assert!(!entries.is_empty(), "empty DUAL message");
+        DualMessage { kind, entries }
+    }
+}
+
+impl Payload for DualMessage {
+    /// EIGRP-like sizing: 20-byte header + 12 bytes per entry.
+    fn size_bytes(&self) -> usize {
+        20 + 12 * self.entries.len()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_sizes() {
+        let m = DualMessage::new(
+            DualKind::Query,
+            vec![DualEntry {
+                dest: NodeId::new(3),
+                metric: Metric::new(2),
+            }],
+        );
+        assert_eq!(m.size_bytes(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_messages_rejected() {
+        let _ = DualMessage::new(DualKind::Update, vec![]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Per-destination DUAL state.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use netsim::ident::NodeId;
+use netsim::protocol::TimerId;
+use routing_core::metric::Metric;
+
+/// Whether a destination is in normal operation or mid-diffusion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DualState {
+    /// Normal: the successor satisfies the feasibility condition.
+    Passive,
+    /// A diffusing computation is in progress.
+    Active {
+        /// Neighbors whose replies are outstanding.
+        pending: BTreeSet<NodeId>,
+        /// Neighbors whose queries we deferred until our own diffusion
+        /// finishes.
+        deferred: BTreeSet<NodeId>,
+        /// Stuck-in-active guard timer.
+        sia_timer: Option<TimerId>,
+    },
+}
+
+/// The DUAL bookkeeping for one destination.
+#[derive(Debug, Clone)]
+pub struct DualRoute {
+    /// Current distance (what we report to neighbors).
+    pub distance: Metric,
+    /// Feasible distance: the smallest distance since the last diffusion
+    /// completed; the loop-freedom invariant compares reported distances
+    /// against it.
+    pub feasible_distance: Metric,
+    /// Current successor (next hop), if any.
+    pub successor: Option<NodeId>,
+    /// Last distance reported by each neighbor.
+    pub reported: BTreeMap<NodeId, Metric>,
+    /// Passive/active state.
+    pub state: DualState,
+}
+
+impl DualRoute {
+    /// A fresh route that knows nothing.
+    #[must_use]
+    pub fn unknown() -> Self {
+        DualRoute {
+            distance: Metric::INFINITY,
+            feasible_distance: Metric::INFINITY,
+            successor: None,
+            reported: BTreeMap::new(),
+            state: DualState::Passive,
+        }
+    }
+
+    /// Returns `true` while a diffusing computation is in progress.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        matches!(self.state, DualState::Active { .. })
+    }
+
+    /// The neighbors satisfying the feasibility condition
+    /// (reported distance strictly below the feasible distance), with the
+    /// total distance through them.
+    pub fn feasible_successors<'a, F>(
+        &'a self,
+        cost: F,
+    ) -> impl Iterator<Item = (NodeId, Metric)> + 'a
+    where
+        F: Fn(NodeId) -> Option<u32> + 'a,
+    {
+        let fd = self.feasible_distance;
+        self.reported.iter().filter_map(move |(&n, &rd)| {
+            if rd < fd {
+                cost(n).map(|c| (n, rd + c))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// The overall best `(neighbor, distance)` ignoring feasibility (used
+    /// when a diffusion completes and the feasible distance resets).
+    pub fn best_any<'a, F>(&'a self, cost: F) -> Option<(NodeId, Metric)>
+    where
+        F: Fn(NodeId) -> Option<u32> + 'a,
+    {
+        routing_core::select_best(
+            self.reported
+                .iter()
+                .filter_map(|(&n, &rd)| cost(n).map(|c| (n, rd + c))),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn route_with(fd: u32, reported: &[(u32, u32)]) -> DualRoute {
+        let mut r = DualRoute::unknown();
+        r.feasible_distance = Metric::new(fd);
+        for &(nb, rd) in reported {
+            r.reported.insert(n(nb), Metric::new(rd));
+        }
+        r
+    }
+
+    #[test]
+    fn feasibility_condition_is_strict() {
+        let r = route_with(3, &[(1, 2), (2, 3), (3, 4)]);
+        let feasible: Vec<NodeId> = r
+            .feasible_successors(|_| Some(1))
+            .map(|(nb, _)| nb)
+            .collect();
+        // Only rd < fd qualifies: neighbor 1 (rd 2). Neighbor 2 (rd 3 == fd)
+        // and neighbor 3 (rd 4) do not.
+        assert_eq!(feasible, vec![n(1)]);
+    }
+
+    #[test]
+    fn best_any_ignores_feasibility() {
+        let r = route_with(1, &[(1, 5), (2, 3)]);
+        let best = r.best_any(|_| Some(1));
+        assert_eq!(best, Some((n(2), Metric::new(4))));
+    }
+
+    #[test]
+    fn unreachable_neighbors_are_skipped() {
+        let r = route_with(10, &[(1, 2), (2, 3)]);
+        // Neighbor 1's link is down (no cost).
+        let best = r.best_any(|nb| if nb == n(1) { None } else { Some(1) });
+        assert_eq!(best, Some((n(2), Metric::new(4))));
+    }
+
+    #[test]
+    fn fresh_route_is_passive_and_unreachable() {
+        let r = DualRoute::unknown();
+        assert!(!r.is_active());
+        assert!(!r.distance.is_finite());
+        assert_eq!(r.successor, None);
+    }
+}

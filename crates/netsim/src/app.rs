@@ -1,0 +1,42 @@
+//! Application agents: end-to-end endpoints riding on top of the routers.
+//!
+//! The paper measures raw IP delivery; its §6 future work asks how
+//! *end-to-end transport* (windows, retransmission) behaves during routing
+//! convergence. Application agents make that measurable: an agent lives on
+//! a node, sends data packets through the normal FIB data plane, receives
+//! the packets addressed to its node, and arms timers — enough to build
+//! ARQ transports, request/response services, or adaptive probes.
+
+use crate::packet::Packet;
+use crate::protocol::TimerToken;
+use crate::simulator::AppContext;
+
+/// An application endpoint hosted on one node.
+///
+/// All methods have empty defaults. Timers share the [`TimerToken`]
+/// namespace with routing protocols but are dispatched separately; an
+/// agent only ever sees its own timers.
+pub trait AppAgent {
+    /// A short name for traces and debugging.
+    fn name(&self) -> &'static str;
+
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, ctx: &mut AppContext<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called when a data packet destined to this node arrives. The packet
+    /// has already been counted as delivered by the engine.
+    fn on_packet(&mut self, ctx: &mut AppContext<'_>, packet: &Packet) {
+        let _ = (ctx, packet);
+    }
+
+    /// Called when a timer armed through the context fires.
+    fn on_timer(&mut self, ctx: &mut AppContext<'_>, token: TimerToken) {
+        let _ = (ctx, token);
+    }
+
+    /// Upcast, so callers can downcast a finished agent to read its
+    /// collected statistics after the run.
+    fn as_any(&self) -> &dyn std::any::Any;
+}

@@ -1,0 +1,59 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ident::{LinkId, NodeId};
+
+/// Errors raised while assembling a simulated network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A link referenced a node that was never added.
+    UnknownNode(NodeId),
+    /// A link connected a node to itself.
+    SelfLoop(NodeId),
+    /// Two links were added between the same pair of nodes.
+    DuplicateLink(NodeId, NodeId),
+    /// A protocol was installed on a node that does not exist.
+    NoSuchNode(NodeId),
+    /// An operation referenced a link that does not exist.
+    NoSuchLink(LinkId),
+    /// The network had no nodes.
+    EmptyNetwork,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownNode(n) => write!(f, "link references unknown node {n}"),
+            BuildError::SelfLoop(n) => write!(f, "self-loop at node {n}"),
+            BuildError::DuplicateLink(a, b) => {
+                write!(f, "duplicate link between {a} and {b}")
+            }
+            BuildError::NoSuchNode(n) => write!(f, "no such node {n}"),
+            BuildError::NoSuchLink(l) => write!(f, "no such link {l}"),
+            BuildError::EmptyNetwork => write!(f, "network has no nodes"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = BuildError::DuplicateLink(NodeId::new(1), NodeId::new(2));
+        assert_eq!(e.to_string(), "duplicate link between n1 and n2");
+        let e = BuildError::EmptyNetwork;
+        assert_eq!(e.to_string(), "network has no nodes");
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<BuildError>();
+    }
+}

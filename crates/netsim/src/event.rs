@@ -1,0 +1,211 @@
+//! The simulator's event calendar.
+//!
+//! A binary heap keyed on `(time, sequence)` where the sequence number makes
+//! ordering stable: two events scheduled for the same instant fire in the
+//! order they were scheduled. This is what makes runs deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::ident::{LinkId, NodeId};
+use crate::link::Frame;
+use crate::packet::Packet;
+use crate::protocol::TimerId;
+use crate::time::SimTime;
+
+/// An event to be processed by the simulation engine.
+#[derive(Debug)]
+pub(crate) enum EventKind {
+    /// The transmitter of `channel` finished serializing its current frame.
+    /// `epoch` guards against stale events after a link failure cleared the
+    /// transmitter.
+    FrameSerialized {
+        channel: crate::ident::ChannelId,
+        epoch: u64,
+    },
+    /// A frame finished propagating and arrives at the channel's head node.
+    FrameArrived {
+        channel: crate::ident::ChannelId,
+        frame: Frame,
+    },
+    /// A protocol timer fired at `node`.
+    TimerFired { node: NodeId, timer: TimerId },
+    /// Both directions of `link` go down.
+    LinkFail { link: LinkId },
+    /// Both directions of `link` come back up.
+    LinkRecover { link: LinkId },
+    /// `node` locally detects that its attachment to `link` changed state.
+    LinkStateDetected { node: NodeId, link: LinkId, up: bool },
+    /// A traffic source injects a data packet at its attachment node.
+    InjectPacket { packet: Packet },
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is popped
+        // first, breaking ties by schedule order.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl EventQueue {
+    pub(crate) fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub(crate) fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `kind` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub(crate) fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        assert!(
+            at >= self.now,
+            "attempt to schedule an event at {at} before now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            time: at,
+            seq,
+            kind,
+        });
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.time >= self.now, "event queue went backwards");
+        self.now = ev.time;
+        Some((ev.time, ev.kind))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Advances the clock to `t` without processing anything (the end of a
+    /// bounded `run_until` window), so external interactions after the run
+    /// happen at the window boundary rather than at the last event.
+    pub(crate) fn advance_to(&mut self, t: SimTime) {
+        if t > self.now {
+            debug_assert!(self.peek_time().is_none_or(|next| next >= t));
+            self.now = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ident::ChannelId;
+
+    fn marker(ch: u32) -> EventKind {
+        EventKind::FrameSerialized {
+            channel: ChannelId::new(ch),
+            epoch: 0,
+        }
+    }
+
+    fn channel_of(kind: &EventKind) -> u32 {
+        match kind {
+            EventKind::FrameSerialized { channel, .. } => channel.index() as u32,
+            _ => panic!("unexpected event"),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), marker(3));
+        q.schedule(SimTime::from_secs(1), marker(1));
+        q.schedule(SimTime::from_secs(2), marker(2));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| channel_of(&k))
+            .collect();
+        assert_eq!(order, [1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..10 {
+            q.schedule(t, marker(i));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| channel_of(&k))
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), marker(0));
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), marker(0));
+        q.pop();
+        q.schedule(SimTime::from_secs(1), marker(1));
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(700), marker(0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(700)));
+        assert_eq!(q.len(), 1);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_millis(700));
+        assert!(q.pop().is_none());
+    }
+}

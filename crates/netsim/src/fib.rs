@@ -1,0 +1,125 @@
+//! The forwarding information base (FIB).
+//!
+//! The data plane consults the FIB on every hop; routing protocols write to
+//! it through their context. Keeping it separate from protocol routing
+//! tables mirrors real routers and lets the trace record exactly when the
+//! *forwarding* behavior (as opposed to the control state) changed — the
+//! distinction §5.4 of the paper relies on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ident::NodeId;
+
+/// A dense destination-indexed next-hop table.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::fib::Fib;
+/// use netsim::ident::NodeId;
+///
+/// let mut fib = Fib::new(4);
+/// fib.set(NodeId::new(3), NodeId::new(1));
+/// assert_eq!(fib.next_hop(NodeId::new(3)), Some(NodeId::new(1)));
+/// assert_eq!(fib.next_hop(NodeId::new(2)), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fib {
+    entries: Vec<Option<NodeId>>,
+}
+
+impl Fib {
+    /// Creates an empty FIB able to address `num_nodes` destinations.
+    #[must_use]
+    pub fn new(num_nodes: usize) -> Self {
+        Fib {
+            entries: vec![None; num_nodes],
+        }
+    }
+
+    /// Returns the next hop toward `dest`, or `None` if unreachable.
+    #[must_use]
+    pub fn next_hop(&self, dest: NodeId) -> Option<NodeId> {
+        self.entries.get(dest.index()).copied().flatten()
+    }
+
+    /// Installs a next hop for `dest`, returning the previous entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest` is out of range.
+    pub fn set(&mut self, dest: NodeId, next_hop: NodeId) -> Option<NodeId> {
+        let slot = &mut self.entries[dest.index()];
+        slot.replace(next_hop)
+    }
+
+    /// Removes the entry for `dest`, returning the previous next hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest` is out of range.
+    pub fn remove(&mut self, dest: NodeId) -> Option<NodeId> {
+        self.entries[dest.index()].take()
+    }
+
+    /// Number of reachable destinations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Returns `true` if no destination is reachable.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(|e| e.is_none())
+    }
+
+    /// Iterates over `(destination, next_hop)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.map(|nh| (NodeId::new(i as u32), nh)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_lookup() {
+        let mut fib = Fib::new(3);
+        assert_eq!(fib.set(NodeId::new(2), NodeId::new(1)), None);
+        assert_eq!(fib.next_hop(NodeId::new(2)), Some(NodeId::new(1)));
+        assert_eq!(
+            fib.set(NodeId::new(2), NodeId::new(0)),
+            Some(NodeId::new(1))
+        );
+    }
+
+    #[test]
+    fn remove_clears_entry() {
+        let mut fib = Fib::new(3);
+        fib.set(NodeId::new(1), NodeId::new(2));
+        assert_eq!(fib.remove(NodeId::new(1)), Some(NodeId::new(2)));
+        assert_eq!(fib.remove(NodeId::new(1)), None);
+        assert!(fib.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_lookup_is_none() {
+        let fib = Fib::new(2);
+        assert_eq!(fib.next_hop(NodeId::new(99)), None);
+    }
+
+    #[test]
+    fn len_counts_installed_routes() {
+        let mut fib = Fib::new(5);
+        assert_eq!(fib.len(), 0);
+        fib.set(NodeId::new(0), NodeId::new(1));
+        fib.set(NodeId::new(4), NodeId::new(1));
+        assert_eq!(fib.len(), 2);
+        assert_eq!(fib.iter().count(), 2);
+    }
+}

@@ -1,0 +1,335 @@
+//! Links and their directed channels.
+//!
+//! An undirected link between two routers is modeled as two independent
+//! directed *channels*, each with its own drop-tail queue, transmitter and
+//! propagation pipe. Control and data traffic share the same queue, so
+//! routing messages experience (and contribute to) queueing exactly like the
+//! paper's IRLSim setup.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ident::NodeId;
+use crate::packet::Packet;
+use crate::protocol::Payload;
+use crate::time::SimDuration;
+
+/// Per-link physical parameters.
+///
+/// Defaults follow the paper's §5 setup: unit routing cost, 1 ms propagation
+/// delay, 10 Mb/s transmission rate, a 20-packet queue, and 50 ms failure
+/// detection latency. The paper notes "the exact values of these parameters
+/// should have little impact on the results"; the ablation benches verify
+/// that claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Routing metric for this link (paper: 1 everywhere).
+    pub cost: u32,
+    /// One-way propagation delay.
+    pub propagation_delay: SimDuration,
+    /// Transmission rate in bits per second.
+    pub bandwidth_bps: u64,
+    /// Maximum number of frames waiting in the output queue
+    /// (excluding the frame currently being serialized).
+    pub queue_capacity: usize,
+    /// Delay between a physical failure/repair and its detection by the two
+    /// attached nodes.
+    pub detection_delay: SimDuration,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            cost: 1,
+            propagation_delay: SimDuration::from_millis(1),
+            bandwidth_bps: 10_000_000,
+            queue_capacity: 20,
+            detection_delay: SimDuration::from_millis(50),
+        }
+    }
+}
+
+impl LinkConfig {
+    /// Time to serialize `bytes` onto the wire at this link's bandwidth.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use netsim::link::LinkConfig;
+    /// use netsim::time::SimDuration;
+    ///
+    /// let cfg = LinkConfig::default(); // 10 Mb/s
+    /// assert_eq!(cfg.serialization_delay(1250), SimDuration::from_millis(1));
+    /// ```
+    #[must_use]
+    pub fn serialization_delay(&self, bytes: usize) -> SimDuration {
+        let bits = bytes as u64 * 8;
+        // Round up to the next nanosecond so zero-size frames still take
+        // nonzero slots only if the link is infinitely fast.
+        let nanos = (bits * 1_000_000_000).div_ceil(self.bandwidth_bps);
+        SimDuration::from_nanos(nanos)
+    }
+}
+
+/// A control-plane message in flight.
+#[derive(Debug)]
+pub struct ControlFrame {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Protocol payload.
+    pub payload: Box<dyn Payload>,
+    /// Reliable frames emulate a TCP session: they are never dropped by
+    /// queue overflow (the sender would have retransmitted), only by link
+    /// failure (after which the session itself resets).
+    pub reliable: bool,
+}
+
+/// Anything occupying a channel: a data packet or a control message.
+#[derive(Debug)]
+pub enum Frame {
+    /// A forwarded data packet.
+    Data(Packet),
+    /// A routing-protocol message.
+    Control(ControlFrame),
+}
+
+impl Frame {
+    /// Wire size used for serialization delay.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Frame::Data(p) => p.size_bytes as usize,
+            // 20-byte header approximating IP+UDP/TCP overhead.
+            Frame::Control(c) => c.payload.size_bytes() + 20,
+        }
+    }
+}
+
+/// One direction of a link.
+#[derive(Debug)]
+pub(crate) struct Channel {
+    pub(crate) from: NodeId,
+    pub(crate) to: NodeId,
+    pub(crate) config: LinkConfig,
+    pub(crate) up: bool,
+    /// Bumped whenever in-progress transmissions are invalidated
+    /// (link failure); stale serialization-complete events compare epochs
+    /// and are ignored.
+    pub(crate) epoch: u64,
+    /// Frame currently being serialized by the transmitter, if any.
+    pub(crate) transmitting: Option<Frame>,
+    /// Frames waiting behind the transmitter.
+    pub(crate) queue: VecDeque<Frame>,
+}
+
+/// Outcome of offering a frame to a channel's queue.
+#[derive(Debug)]
+pub(crate) enum EnqueueOutcome {
+    /// The frame went straight to the transmitter; serialization must be
+    /// scheduled for the returned duration.
+    StartTransmit(SimDuration),
+    /// The frame joined the queue behind an ongoing transmission.
+    Queued,
+    /// The queue was full and the frame was discarded.
+    Dropped(Frame),
+}
+
+impl Channel {
+    pub(crate) fn new(
+        from: NodeId,
+        to: NodeId,
+        config: LinkConfig,
+    ) -> Self {
+        Channel {
+            from,
+            to,
+            config,
+            up: true,
+            epoch: 0,
+            transmitting: None,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Offers a frame for transmission.
+    ///
+    /// Frames are accepted even while the link is down: the sending node has
+    /// not yet detected the failure, so from its point of view the interface
+    /// is healthy. Such frames are lost when serialization completes.
+    pub(crate) fn offer(&mut self, frame: Frame) -> EnqueueOutcome {
+        if self.transmitting.is_none() {
+            let delay = self.config.serialization_delay(frame.size_bytes());
+            self.transmitting = Some(frame);
+            EnqueueOutcome::StartTransmit(delay)
+        } else if self.queue.len() < self.config.queue_capacity
+            || matches!(&frame, Frame::Control(c) if c.reliable)
+        {
+            self.queue.push_back(frame);
+            EnqueueOutcome::Queued
+        } else {
+            EnqueueOutcome::Dropped(frame)
+        }
+    }
+
+    /// Completes the in-progress transmission, returning the transmitted
+    /// frame and, if another frame starts serializing, its delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transmission is in progress.
+    pub(crate) fn finish_transmit(&mut self) -> (Frame, Option<SimDuration>) {
+        let done = self
+            .transmitting
+            .take()
+            .expect("finish_transmit called on idle channel");
+        let next_delay = self.queue.pop_front().map(|next| {
+            let d = self.config.serialization_delay(next.size_bytes());
+            self.transmitting = Some(next);
+            d
+        });
+        (done, next_delay)
+    }
+
+    /// Drops all queued and in-flight state (used on link failure to model
+    /// frames lost on the wire).
+    pub(crate) fn clear(&mut self) -> Vec<Frame> {
+        self.epoch += 1;
+        let mut lost: Vec<Frame> = self.transmitting.take().into_iter().collect();
+        lost.extend(self.queue.drain(..));
+        lost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ident::PacketId;
+    use crate::time::SimTime;
+
+    fn data_frame(size: u32) -> Frame {
+        Frame::Data(Packet::new(
+            PacketId::new(0),
+            NodeId::new(0),
+            NodeId::new(1),
+            SimTime::ZERO,
+            size,
+        ))
+    }
+
+    fn channel(capacity: usize) -> Channel {
+        Channel::new(
+            NodeId::new(0),
+            NodeId::new(1),
+            LinkConfig {
+                queue_capacity: capacity,
+                ..LinkConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn serialization_delay_scales_with_size() {
+        let cfg = LinkConfig::default();
+        assert_eq!(cfg.serialization_delay(1250), SimDuration::from_millis(1));
+        assert_eq!(cfg.serialization_delay(2500), SimDuration::from_millis(2));
+        assert_eq!(cfg.serialization_delay(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn serialization_delay_rounds_up() {
+        let cfg = LinkConfig {
+            bandwidth_bps: 3,
+            ..LinkConfig::default()
+        };
+        // 8 bits at 3 b/s = 2.666..s, rounded up to the next nanosecond.
+        assert_eq!(
+            cfg.serialization_delay(1),
+            SimDuration::from_nanos(2_666_666_667)
+        );
+    }
+
+    #[test]
+    fn first_frame_starts_transmitting() {
+        let mut ch = channel(2);
+        match ch.offer(data_frame(1250)) {
+            EnqueueOutcome::StartTransmit(d) => assert_eq!(d, SimDuration::from_millis(1)),
+            other => panic!("expected StartTransmit, got {other:?}"),
+        }
+        assert!(ch.transmitting.is_some());
+    }
+
+    #[test]
+    fn overflow_drops_tail() {
+        let mut ch = channel(1);
+        assert!(matches!(
+            ch.offer(data_frame(100)),
+            EnqueueOutcome::StartTransmit(_)
+        ));
+        assert!(matches!(ch.offer(data_frame(100)), EnqueueOutcome::Queued));
+        assert!(matches!(
+            ch.offer(data_frame(100)),
+            EnqueueOutcome::Dropped(_)
+        ));
+    }
+
+    #[test]
+    fn reliable_control_bypasses_capacity() {
+        let mut ch = channel(0);
+        assert!(matches!(
+            ch.offer(data_frame(100)),
+            EnqueueOutcome::StartTransmit(_)
+        ));
+
+        #[derive(Debug)]
+        struct Dummy;
+        impl Payload for Dummy {
+            fn size_bytes(&self) -> usize {
+                10
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+        let ctrl = Frame::Control(ControlFrame {
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+            payload: Box::new(Dummy),
+            reliable: true,
+        });
+        assert!(matches!(ch.offer(ctrl), EnqueueOutcome::Queued));
+
+        let unreliable = Frame::Control(ControlFrame {
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+            payload: Box::new(Dummy),
+            reliable: false,
+        });
+        assert!(matches!(ch.offer(unreliable), EnqueueOutcome::Dropped(_)));
+    }
+
+    #[test]
+    fn finish_transmit_advances_queue() {
+        let mut ch = channel(4);
+        ch.offer(data_frame(1250));
+        ch.offer(data_frame(2500));
+        let (_done, next) = ch.finish_transmit();
+        assert_eq!(next, Some(SimDuration::from_millis(2)));
+        let (_done, next) = ch.finish_transmit();
+        assert_eq!(next, None);
+    }
+
+    #[test]
+    fn clear_returns_all_frames() {
+        let mut ch = channel(4);
+        ch.offer(data_frame(100));
+        ch.offer(data_frame(100));
+        ch.offer(data_frame(100));
+        let lost = ch.clear();
+        assert_eq!(lost.len(), 3);
+        assert!(ch.transmitting.is_none());
+        assert!(ch.queue.is_empty());
+    }
+}

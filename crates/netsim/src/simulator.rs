@@ -1,0 +1,1171 @@
+//! The simulation engine: world assembly, the event loop, the data plane
+//! and the protocol context.
+
+use std::collections::HashMap;
+
+use crate::app::AppAgent;
+use crate::error::BuildError;
+use crate::event::{EventKind, EventQueue};
+use crate::fib::Fib;
+use crate::ident::{ChannelId, LinkId, NodeId, PacketId};
+use crate::link::{Channel, ControlFrame, EnqueueOutcome, Frame, LinkConfig};
+use crate::packet::{DropReason, Packet, DEFAULT_TTL};
+use crate::protocol::{Payload, RoutingProtocol, TimerId, TimerToken};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceConfig, TraceEvent};
+
+/// A router in the simulated network.
+#[derive(Debug)]
+struct Node {
+    /// Neighbor node, outgoing channel toward it, the undirected link, and
+    /// this node's *perceived* state of that link (updates lag physical
+    /// state by the detection delay).
+    adjacency: Vec<Adjacency>,
+    fib: Fib,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Adjacency {
+    neighbor: NodeId,
+    out_channel: ChannelId,
+    link: LinkId,
+    cost: u32,
+    perceived_up: bool,
+}
+
+/// An undirected link: two channels plus bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct LinkInfo {
+    a: NodeId,
+    b: NodeId,
+    ab: ChannelId,
+    ba: ChannelId,
+    config: LinkConfig,
+    up: bool,
+}
+
+/// Whether a pending timer belongs to the node's routing protocol or its
+/// application agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TimerTarget {
+    Protocol,
+    App,
+}
+
+/// Aggregate counters updated online (cheap, always on).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events processed by the engine.
+    pub events_processed: u64,
+    /// Data packets injected by traffic sources.
+    pub packets_injected: u64,
+    /// Data packets delivered to their destination.
+    pub packets_delivered: u64,
+    /// Data packets dropped (all causes).
+    pub packets_dropped: u64,
+    /// Control messages offered to links.
+    pub control_messages_sent: u64,
+    /// Control bytes offered to links.
+    pub control_bytes_sent: u64,
+    /// Control messages lost to link failure or queue overflow.
+    pub control_messages_lost: u64,
+}
+
+/// Result of walking the FIBs from a source toward a destination.
+///
+/// Used by experiment runners to find the live forwarding path (to pick a
+/// link to fail) and by metrics to track transient paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForwardingPath {
+    /// A loop-free path `src..=dst` exists right now.
+    Complete(Vec<NodeId>),
+    /// Walking the FIBs revisited a node; the walk up to (and including)
+    /// the repeated node is returned.
+    Loop(Vec<NodeId>),
+    /// Some router on the walk had no FIB entry; the partial walk is
+    /// returned.
+    Broken(Vec<NodeId>),
+}
+
+impl ForwardingPath {
+    /// The node sequence regardless of outcome.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeId] {
+        match self {
+            ForwardingPath::Complete(p) | ForwardingPath::Loop(p) | ForwardingPath::Broken(p) => p,
+        }
+    }
+
+    /// Returns `true` for a complete loop-free path.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        matches!(self, ForwardingPath::Complete(_))
+    }
+}
+
+/// Builds a [`Simulator`].
+///
+/// # Examples
+///
+/// ```
+/// use netsim::simulator::SimulatorBuilder;
+/// use netsim::link::LinkConfig;
+///
+/// let mut b = SimulatorBuilder::new();
+/// let n0 = b.add_node();
+/// let n1 = b.add_node();
+/// b.add_link(n0, n1, LinkConfig::default())?;
+/// let sim = b.build()?;
+/// assert_eq!(sim.num_nodes(), 2);
+/// # Ok::<(), netsim::error::BuildError>(())
+/// ```
+#[derive(Debug)]
+pub struct SimulatorBuilder {
+    num_nodes: u32,
+    links: Vec<(NodeId, NodeId, LinkConfig)>,
+    seed: u64,
+    trace_config: TraceConfig,
+}
+
+impl Default for SimulatorBuilder {
+    fn default() -> Self {
+        SimulatorBuilder::new()
+    }
+}
+
+impl SimulatorBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        SimulatorBuilder {
+            num_nodes: 0,
+            links: Vec::new(),
+            seed: 0,
+            trace_config: TraceConfig::default(),
+        }
+    }
+
+    /// Adds a router and returns its identifier.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::new(self.num_nodes);
+        self.num_nodes += 1;
+        id
+    }
+
+    /// Adds `count` routers, returning their identifiers.
+    pub fn add_nodes(&mut self, count: usize) -> Vec<NodeId> {
+        (0..count).map(|_| self.add_node()).collect()
+    }
+
+    /// Adds an undirected link between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for self-loops, unknown endpoints or duplicates.
+    pub fn add_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        config: LinkConfig,
+    ) -> Result<LinkId, BuildError> {
+        if a == b {
+            return Err(BuildError::SelfLoop(a));
+        }
+        for &n in &[a, b] {
+            if n.index() >= self.num_nodes as usize {
+                return Err(BuildError::UnknownNode(n));
+            }
+        }
+        if self
+            .links
+            .iter()
+            .any(|&(x, y, _)| (x, y) == (a, b) || (x, y) == (b, a))
+        {
+            return Err(BuildError::DuplicateLink(a, b));
+        }
+        let id = LinkId::new(self.links.len() as u32);
+        self.links.push((a, b, config));
+        Ok(id)
+    }
+
+    /// Sets the RNG seed for the run.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Configures trace verbosity.
+    pub fn trace_config(&mut self, config: TraceConfig) -> &mut Self {
+        self.trace_config = config;
+        self
+    }
+
+    /// Assembles the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::EmptyNetwork`] if no node was added.
+    pub fn build(self) -> Result<Simulator, BuildError> {
+        if self.num_nodes == 0 {
+            return Err(BuildError::EmptyNetwork);
+        }
+        let n = self.num_nodes as usize;
+        let mut nodes: Vec<Node> = (0..n)
+            .map(|_| Node {
+                adjacency: Vec::new(),
+                fib: Fib::new(n),
+            })
+            .collect();
+        let mut channels = Vec::with_capacity(self.links.len() * 2);
+        let mut links = Vec::with_capacity(self.links.len());
+        for (i, &(a, b, config)) in self.links.iter().enumerate() {
+            let link = LinkId::new(i as u32);
+            let ab = ChannelId::new(channels.len() as u32);
+            channels.push(Channel::new(a, b, config));
+            let ba = ChannelId::new(channels.len() as u32);
+            channels.push(Channel::new(b, a, config));
+            links.push(LinkInfo {
+                a,
+                b,
+                ab,
+                ba,
+                config,
+                up: true,
+            });
+            nodes[a.index()].adjacency.push(Adjacency {
+                neighbor: b,
+                out_channel: ab,
+                link,
+                cost: config.cost,
+                perceived_up: true,
+            });
+            nodes[b.index()].adjacency.push(Adjacency {
+                neighbor: a,
+                out_channel: ba,
+                link,
+                cost: config.cost,
+                perceived_up: true,
+            });
+        }
+        Ok(Simulator {
+            nodes,
+            channels,
+            links,
+            protocols: (0..n).map(|_| None).collect(),
+            apps: (0..n).map(|_| None).collect(),
+            queue: EventQueue::new(),
+            timers: HashMap::new(),
+            next_timer: 0,
+            next_packet: 0,
+            rng: SimRng::seed_from(self.seed),
+            trace: Trace::new(),
+            trace_config: self.trace_config,
+            stats: SimStats::default(),
+            started: false,
+        })
+    }
+}
+
+/// The assembled network plus its event loop.
+pub struct Simulator {
+    nodes: Vec<Node>,
+    channels: Vec<Channel>,
+    links: Vec<LinkInfo>,
+    protocols: Vec<Option<Box<dyn RoutingProtocol>>>,
+    apps: Vec<Option<Box<dyn AppAgent>>>,
+    queue: EventQueue,
+    timers: HashMap<u64, (NodeId, TimerToken, TimerTarget)>,
+    next_timer: u64,
+    next_packet: u64,
+    rng: SimRng,
+    trace: Trace,
+    trace_config: TraceConfig,
+    stats: SimStats,
+    started: bool,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("now", &self.now())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Number of routers.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of undirected links.
+    #[must_use]
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Engine counters.
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// The trace recorded so far.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the simulator, returning its trace.
+    #[must_use]
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// Installs an application agent on `node`.
+    ///
+    /// If the simulation is already running, the agent's `on_start` fires
+    /// immediately — agents can join mid-run (e.g. a transport flow that
+    /// begins after routing warm-up).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the node does not exist.
+    pub fn install_app(
+        &mut self,
+        node: NodeId,
+        agent: Box<dyn AppAgent>,
+    ) -> Result<(), BuildError> {
+        let slot = self
+            .apps
+            .get_mut(node.index())
+            .ok_or(BuildError::NoSuchNode(node))?;
+        *slot = Some(agent);
+        if self.started {
+            self.dispatch_app(node, |app, ctx| app.on_start(ctx));
+        }
+        Ok(())
+    }
+
+    /// Removes and returns the application agent of `node` (after a run,
+    /// to read its collected statistics).
+    pub fn take_app(&mut self, node: NodeId) -> Option<Box<dyn AppAgent>> {
+        self.apps.get_mut(node.index())?.take()
+    }
+
+    /// Read access to the protocol instance on `node` (forensics: downcast
+    /// via [`RoutingProtocol::as_any`]).
+    #[must_use]
+    pub fn protocol(&self, node: NodeId) -> Option<&dyn RoutingProtocol> {
+        self.protocols.get(node.index())?.as_deref()
+    }
+
+    /// Installs a protocol instance on `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the node does not exist.
+    pub fn install_protocol(
+        &mut self,
+        node: NodeId,
+        protocol: Box<dyn RoutingProtocol>,
+    ) -> Result<(), BuildError> {
+        let slot = self
+            .protocols
+            .get_mut(node.index())
+            .ok_or(BuildError::NoSuchNode(node))?;
+        *slot = Some(protocol);
+        Ok(())
+    }
+
+    /// The neighbors of `node` in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not exist.
+    #[must_use]
+    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        self.nodes[node.index()]
+            .adjacency
+            .iter()
+            .map(|a| a.neighbor)
+            .collect()
+    }
+
+    /// The undirected link between `a` and `b`, if one exists.
+    #[must_use]
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        self.nodes.get(a.index())?.adjacency.iter().find_map(|adj| {
+            (adj.neighbor == b).then_some(adj.link)
+        })
+    }
+
+    /// The two endpoints of `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` does not exist.
+    #[must_use]
+    pub fn link_endpoints(&self, link: LinkId) -> (NodeId, NodeId) {
+        let info = self.links[link.index()];
+        (info.a, info.b)
+    }
+
+    /// Read access to a node's FIB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not exist.
+    #[must_use]
+    pub fn fib(&self, node: NodeId) -> &Fib {
+        &self.nodes[node.index()].fib
+    }
+
+    /// Walks the FIBs from `src` toward `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node does not exist.
+    #[must_use]
+    pub fn forwarding_path(&self, src: NodeId, dst: NodeId) -> ForwardingPath {
+        let mut path = vec![src];
+        let mut visited = vec![false; self.nodes.len()];
+        visited[src.index()] = true;
+        let mut at = src;
+        while at != dst {
+            match self.nodes[at.index()].fib.next_hop(dst) {
+                None => return ForwardingPath::Broken(path),
+                Some(next) => {
+                    path.push(next);
+                    if visited[next.index()] {
+                        return ForwardingPath::Loop(path);
+                    }
+                    visited[next.index()] = true;
+                    at = next;
+                }
+            }
+        }
+        ForwardingPath::Complete(path)
+    }
+
+    /// Starts all protocols (in node-id order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn start(&mut self) {
+        assert!(!self.started, "Simulator::start called twice");
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            self.dispatch(NodeId::new(i as u32), |proto, ctx| proto.on_start(ctx));
+        }
+        for i in 0..self.nodes.len() {
+            self.dispatch_app(NodeId::new(i as u32), |app, ctx| app.on_start(ctx));
+        }
+    }
+
+    /// Schedules a data packet injection at `at`.
+    ///
+    /// Returns the packet id for trace correlation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past or either node is unknown.
+    pub fn schedule_packet(
+        &mut self,
+        at: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        size_bytes: u32,
+        ttl: u8,
+    ) -> PacketId {
+        assert!(src.index() < self.nodes.len(), "unknown source {src}");
+        assert!(dst.index() < self.nodes.len(), "unknown destination {dst}");
+        let id = PacketId::new(self.next_packet);
+        self.next_packet += 1;
+        let packet = Packet::new(id, src, dst, at, size_bytes).with_ttl(ttl);
+        self.queue.schedule(at, EventKind::InjectPacket { packet });
+        id
+    }
+
+    /// Convenience: schedules a packet with the study defaults
+    /// (1000 bytes, TTL 127).
+    pub fn schedule_default_packet(&mut self, at: SimTime, src: NodeId, dst: NodeId) -> PacketId {
+        self.schedule_packet(at, src, dst, 1000, DEFAULT_TTL)
+    }
+
+    /// Schedules a physical failure of `link` at `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the link does not exist.
+    pub fn schedule_link_failure(&mut self, at: SimTime, link: LinkId) -> Result<(), BuildError> {
+        if link.index() >= self.links.len() {
+            return Err(BuildError::NoSuchLink(link));
+        }
+        self.queue.schedule(at, EventKind::LinkFail { link });
+        Ok(())
+    }
+
+    /// Schedules a physical recovery of `link` at `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the link does not exist.
+    pub fn schedule_link_recovery(&mut self, at: SimTime, link: LinkId) -> Result<(), BuildError> {
+        if link.index() >= self.links.len() {
+            return Err(BuildError::NoSuchLink(link));
+        }
+        self.queue.schedule(at, EventKind::LinkRecover { link });
+        Ok(())
+    }
+
+    /// Runs the event loop until the calendar is empty or the next event is
+    /// after `until`, then advances the clock to `until` so follow-up
+    /// interactions (installing agents, scheduling traffic) happen at the
+    /// window boundary.
+    pub fn run_until(&mut self, until: SimTime) {
+        assert!(self.started, "call Simulator::start before run_until");
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let (_, kind) = self.queue.pop().expect("peeked event vanished");
+            self.stats.events_processed += 1;
+            self.handle(kind);
+        }
+        self.queue.advance_to(until);
+    }
+
+    /// Runs until the calendar drains completely; the clock stays at the
+    /// last processed event.
+    pub fn run_to_completion(&mut self) {
+        assert!(self.started, "call Simulator::start before run_to_completion");
+        while let Some((_, kind)) = self.queue.pop() {
+            self.stats.events_processed += 1;
+            self.handle(kind);
+        }
+    }
+
+    // ---- internal machinery ----------------------------------------------
+
+    fn handle(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::InjectPacket { packet } => {
+                self.stats.packets_injected += 1;
+                self.trace.push(TraceEvent::PacketInjected {
+                    time: self.now(),
+                    id: packet.id,
+                    src: packet.src,
+                    dst: packet.dst,
+                });
+                self.forward_packet(packet.src, packet);
+            }
+            EventKind::FrameSerialized { channel, epoch } => {
+                self.on_frame_serialized(channel, epoch);
+            }
+            EventKind::FrameArrived { channel, frame } => self.on_frame_arrived(channel, frame),
+            EventKind::TimerFired { node, timer } => {
+                if let Some((owner, token, target)) = self.timers.remove(&timer.0) {
+                    debug_assert_eq!(owner, node);
+                    match target {
+                        TimerTarget::Protocol => {
+                            self.dispatch(node, |proto, ctx| proto.on_timer(ctx, token));
+                        }
+                        TimerTarget::App => {
+                            self.dispatch_app(node, |app, ctx| app.on_timer(ctx, token));
+                        }
+                    }
+                }
+            }
+            EventKind::LinkFail { link } => self.on_link_fail(link),
+            EventKind::LinkRecover { link } => self.on_link_recover(link),
+            EventKind::LinkStateDetected { node, link, up } => {
+                self.on_link_state_detected(node, link, up);
+            }
+        }
+    }
+
+    fn on_frame_serialized(&mut self, channel: ChannelId, epoch: u64) {
+        let now = self.now();
+        let ch = &mut self.channels[channel.index()];
+        if ch.epoch != epoch {
+            // The transmission this event belonged to was wiped by a link
+            // failure; the frame was already accounted as lost.
+            return;
+        }
+        let (frame, next_delay) = ch.finish_transmit();
+        if let Some(d) = next_delay {
+            let epoch = ch.epoch;
+            self.queue
+                .schedule(now + d, EventKind::FrameSerialized { channel, epoch });
+        }
+        let ch = &self.channels[channel.index()];
+        if ch.up {
+            let arrive = now + ch.config.propagation_delay;
+            self.queue
+                .schedule(arrive, EventKind::FrameArrived { channel, frame });
+        } else {
+            self.lose_frame(frame, self.channels[channel.index()].from);
+        }
+    }
+
+    fn on_frame_arrived(&mut self, channel: ChannelId, frame: Frame) {
+        let (up, to, from) = {
+            let ch = &self.channels[channel.index()];
+            (ch.up, ch.to, ch.from)
+        };
+        if !up {
+            // Failed while the frame was propagating.
+            self.lose_frame(frame, from);
+            return;
+        }
+        match frame {
+            Frame::Data(packet) => self.forward_packet(to, packet),
+            Frame::Control(ctrl) => {
+                self.dispatch(to, |proto, ctx| {
+                    proto.on_message(ctx, ctrl.from, &*ctrl.payload);
+                });
+            }
+        }
+    }
+
+    fn lose_frame(&mut self, frame: Frame, at: NodeId) {
+        match frame {
+            Frame::Data(packet) => self.record_drop(packet, at, DropReason::LinkDown),
+            Frame::Control(_) => self.stats.control_messages_lost += 1,
+        }
+    }
+
+    fn record_drop(&mut self, packet: Packet, at: NodeId, reason: DropReason) {
+        self.stats.packets_dropped += 1;
+        self.trace.push(TraceEvent::PacketDropped {
+            time: self.now(),
+            id: packet.id,
+            node: at,
+            reason,
+            sent_at: packet.sent_at,
+        });
+    }
+
+    /// Hop-by-hop forwarding: deliver locally, or decrement TTL, look up the
+    /// FIB and push the packet onto the outgoing channel.
+    fn forward_packet(&mut self, at: NodeId, mut packet: Packet) {
+        if packet.dst == at {
+            self.stats.packets_delivered += 1;
+            self.trace.push(TraceEvent::PacketDelivered {
+                time: self.now(),
+                id: packet.id,
+                node: at,
+                hops: packet.hops,
+                sent_at: packet.sent_at,
+            });
+            if self.apps[at.index()].is_some() {
+                self.dispatch_app(at, |app, ctx| app.on_packet(ctx, &packet));
+            }
+            return;
+        }
+        if packet.ttl <= 1 {
+            self.record_drop(packet, at, DropReason::TtlExpired);
+            return;
+        }
+        packet.ttl -= 1;
+        let Some(next_hop) = self.nodes[at.index()].fib.next_hop(packet.dst) else {
+            self.record_drop(packet, at, DropReason::NoRoute);
+            return;
+        };
+        let Some(out) = self.nodes[at.index()]
+            .adjacency
+            .iter()
+            .find(|a| a.neighbor == next_hop)
+            .map(|a| a.out_channel)
+        else {
+            // A protocol installed a next hop that is not a neighbor; treat
+            // as no route rather than corrupting the run.
+            debug_assert!(false, "FIB at {at} points to non-neighbor {next_hop}");
+            self.record_drop(packet, at, DropReason::NoRoute);
+            return;
+        };
+        packet.hops += 1;
+        if self.trace_config.record_hops {
+            self.trace.push(TraceEvent::PacketForwarded {
+                time: self.now(),
+                id: packet.id,
+                node: at,
+                next_hop,
+            });
+        }
+        self.offer_frame(out, Frame::Data(packet), at);
+    }
+
+    fn offer_frame(&mut self, channel: ChannelId, frame: Frame, from: NodeId) {
+        let now = self.now();
+        let epoch = self.channels[channel.index()].epoch;
+        match self.channels[channel.index()].offer(frame) {
+            EnqueueOutcome::StartTransmit(d) => {
+                self.queue
+                    .schedule(now + d, EventKind::FrameSerialized { channel, epoch });
+            }
+            EnqueueOutcome::Queued => {}
+            EnqueueOutcome::Dropped(frame) => match frame {
+                Frame::Data(packet) => self.record_drop(packet, from, DropReason::QueueOverflow),
+                Frame::Control(_) => self.stats.control_messages_lost += 1,
+            },
+        }
+    }
+
+    fn on_link_fail(&mut self, link: LinkId) {
+        let now = self.now();
+        let info = self.links[link.index()];
+        if !info.up {
+            return;
+        }
+        self.links[link.index()].up = false;
+        self.trace.push(TraceEvent::LinkFailed {
+            time: now,
+            link,
+            a: info.a,
+            b: info.b,
+        });
+        for ch_id in [info.ab, info.ba] {
+            let lost = {
+                let ch = &mut self.channels[ch_id.index()];
+                ch.up = false;
+                ch.clear()
+            };
+            let from = self.channels[ch_id.index()].from;
+            for frame in lost {
+                self.lose_frame(frame, from);
+            }
+        }
+        let detect = now + info.config.detection_delay;
+        for node in [info.a, info.b] {
+            self.queue.schedule(
+                detect,
+                EventKind::LinkStateDetected {
+                    node,
+                    link,
+                    up: false,
+                },
+            );
+        }
+    }
+
+    fn on_link_recover(&mut self, link: LinkId) {
+        let now = self.now();
+        let info = self.links[link.index()];
+        if info.up {
+            return;
+        }
+        self.links[link.index()].up = true;
+        self.channels[info.ab.index()].up = true;
+        self.channels[info.ba.index()].up = true;
+        self.trace.push(TraceEvent::LinkRecovered {
+            time: now,
+            link,
+            a: info.a,
+            b: info.b,
+        });
+        let detect = now + info.config.detection_delay;
+        for node in [info.a, info.b] {
+            self.queue.schedule(
+                detect,
+                EventKind::LinkStateDetected {
+                    node,
+                    link,
+                    up: true,
+                },
+            );
+        }
+    }
+
+    fn on_link_state_detected(&mut self, node: NodeId, link: LinkId, up: bool) {
+        let mut neighbor = None;
+        for adj in &mut self.nodes[node.index()].adjacency {
+            if adj.link == link {
+                adj.perceived_up = up;
+                neighbor = Some(adj.neighbor);
+                break;
+            }
+        }
+        let Some(neighbor) = neighbor else { return };
+        self.trace.push(TraceEvent::LinkStateDetected {
+            time: self.now(),
+            node,
+            neighbor,
+            up,
+        });
+        if up {
+            self.dispatch(node, |proto, ctx| proto.on_link_up(ctx, neighbor));
+        } else {
+            self.dispatch(node, |proto, ctx| proto.on_link_down(ctx, neighbor));
+        }
+    }
+
+    /// Temporarily removes the node's protocol, runs `f` with a context, and
+    /// reinstalls it. This is what lets protocol code mutate the world
+    /// without aliasing itself.
+    fn dispatch<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn RoutingProtocol, &mut ProtocolContext<'_>),
+    {
+        let Some(mut proto) = self.protocols[node.index()].take() else {
+            return;
+        };
+        {
+            let mut ctx = ProtocolContext { sim: self, node };
+            f(proto.as_mut(), &mut ctx);
+        }
+        self.protocols[node.index()] = Some(proto);
+    }
+
+    /// [`Simulator::dispatch`], for application agents.
+    fn dispatch_app<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn AppAgent, &mut AppContext<'_>),
+    {
+        let Some(mut app) = self.apps[node.index()].take() else {
+            return;
+        };
+        {
+            let mut ctx = AppContext { sim: self, node };
+            f(app.as_mut(), &mut ctx);
+        }
+        self.apps[node.index()] = Some(app);
+    }
+}
+
+/// The capabilities handed to a protocol event handler.
+///
+/// Everything a protocol may legitimately observe or do goes through this
+/// context: it sees only local state (its own FIB, its own adjacency and
+/// *perceived* link states), never the global topology.
+pub struct ProtocolContext<'a> {
+    sim: &'a mut Simulator,
+    node: NodeId,
+}
+
+impl std::fmt::Debug for ProtocolContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProtocolContext")
+            .field("node", &self.node)
+            .field("now", &self.sim.now())
+            .finish()
+    }
+}
+
+impl ProtocolContext<'_> {
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The node this protocol instance runs on.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Total number of routers (= destinations) in the network.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.sim.num_nodes()
+    }
+
+    /// All configured neighbors, regardless of perceived link state.
+    #[must_use]
+    pub fn neighbors(&self) -> Vec<NodeId> {
+        self.sim.neighbors(self.node)
+    }
+
+    /// Whether this node currently believes its link to `neighbor` is up.
+    #[must_use]
+    pub fn neighbor_up(&self, neighbor: NodeId) -> bool {
+        self.sim.nodes[self.node.index()]
+            .adjacency
+            .iter()
+            .any(|a| a.neighbor == neighbor && a.perceived_up)
+    }
+
+    /// The routing cost of the link to `neighbor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neighbor` is not adjacent.
+    #[must_use]
+    pub fn link_cost(&self, neighbor: NodeId) -> u32 {
+        self.sim.nodes[self.node.index()]
+            .adjacency
+            .iter()
+            .find(|a| a.neighbor == neighbor)
+            .unwrap_or_else(|| panic!("{} is not a neighbor of {}", neighbor, self.node))
+            .cost
+    }
+
+    /// Sends a datagram control message (may be lost on failure/overflow).
+    pub fn send(&mut self, to: NodeId, payload: Box<dyn Payload>) {
+        self.send_inner(to, payload, false);
+    }
+
+    /// Sends a control message over a reliable in-order session (BGP/TCP
+    /// emulation: immune to queue overflow, reset by link failure).
+    pub fn send_reliable(&mut self, to: NodeId, payload: Box<dyn Payload>) {
+        self.send_inner(to, payload, true);
+    }
+
+    fn send_inner(&mut self, to: NodeId, payload: Box<dyn Payload>, reliable: bool) {
+        let out = self.sim.nodes[self.node.index()]
+            .adjacency
+            .iter()
+            .find(|a| a.neighbor == to)
+            .map(|a| a.out_channel)
+            .unwrap_or_else(|| panic!("{} is not a neighbor of {}", to, self.node));
+        let bytes = (payload.size_bytes() + 20) as u32;
+        self.sim.stats.control_messages_sent += 1;
+        self.sim.stats.control_bytes_sent += u64::from(bytes);
+        if self.sim.trace_config.record_control {
+            self.sim.trace.push(TraceEvent::ControlSent {
+                time: self.sim.now(),
+                from: self.node,
+                to,
+                bytes,
+            });
+        }
+        let frame = Frame::Control(ControlFrame {
+            from: self.node,
+            to,
+            payload,
+            reliable,
+        });
+        self.sim.offer_frame(out, frame, self.node);
+    }
+
+    /// Arms a one-shot timer `after` from now; the token is returned in
+    /// [`RoutingProtocol::on_timer`].
+    pub fn set_timer(&mut self, after: SimDuration, token: TimerToken) -> TimerId {
+        let id = TimerId(self.sim.next_timer);
+        self.sim.next_timer += 1;
+        self.sim
+            .timers
+            .insert(id.0, (self.node, token, TimerTarget::Protocol));
+        let at = self.sim.now() + after;
+        self.sim.queue.schedule(
+            at,
+            EventKind::TimerFired {
+                node: self.node,
+                timer: id,
+            },
+        );
+        id
+    }
+
+    /// Cancels a pending timer; cancelling an already-fired timer is a
+    /// harmless no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.sim.timers.remove(&id.0);
+    }
+
+    /// Installs `next_hop` as the FIB entry for `dest`, recording the change.
+    pub fn install_route(&mut self, dest: NodeId, next_hop: NodeId) {
+        let old = self.sim.nodes[self.node.index()].fib.set(dest, next_hop);
+        if old != Some(next_hop) {
+            self.sim.trace.push(TraceEvent::RouteChanged {
+                time: self.sim.now(),
+                node: self.node,
+                dest,
+                old,
+                new: Some(next_hop),
+            });
+        }
+    }
+
+    /// Removes the FIB entry for `dest`, recording the change.
+    pub fn remove_route(&mut self, dest: NodeId) {
+        let old = self.sim.nodes[self.node.index()].fib.remove(dest);
+        if old.is_some() {
+            self.sim.trace.push(TraceEvent::RouteChanged {
+                time: self.sim.now(),
+                node: self.node,
+                dest,
+                old,
+                new: None,
+            });
+        }
+    }
+
+    /// The currently installed next hop for `dest`, if any.
+    #[must_use]
+    pub fn route(&self, dest: NodeId) -> Option<NodeId> {
+        self.sim.nodes[self.node.index()].fib.next_hop(dest)
+    }
+
+    /// The run's deterministic random number generator.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.sim.rng
+    }
+}
+
+/// The capabilities handed to an application agent.
+///
+/// Agents send *data packets* through the normal forwarding plane — they
+/// cannot touch routing state, which keeps the transport/routing layer
+/// separation honest.
+pub struct AppContext<'a> {
+    sim: &'a mut Simulator,
+    node: NodeId,
+}
+
+impl std::fmt::Debug for AppContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppContext")
+            .field("node", &self.node)
+            .field("now", &self.sim.now())
+            .finish()
+    }
+}
+
+impl AppContext<'_> {
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The node this agent runs on.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sends a data packet toward `dst` through the FIB, returning its id.
+    pub fn send_data(&mut self, dst: NodeId, size_bytes: u32, ttl: u8, tag: u64) -> PacketId {
+        let id = PacketId::new(self.sim.next_packet);
+        self.sim.next_packet += 1;
+        let packet = Packet::new(id, self.node, dst, self.sim.now(), size_bytes)
+            .with_ttl(ttl)
+            .with_tag(tag);
+        self.sim.stats.packets_injected += 1;
+        self.sim.trace.push(TraceEvent::PacketInjected {
+            time: self.sim.now(),
+            id,
+            src: self.node,
+            dst,
+        });
+        self.sim.forward_packet(self.node, packet);
+        id
+    }
+
+    /// Arms a one-shot timer; the token returns in
+    /// [`AppAgent::on_timer`].
+    pub fn set_timer(&mut self, after: SimDuration, token: TimerToken) -> TimerId {
+        let id = TimerId(self.sim.next_timer);
+        self.sim.next_timer += 1;
+        self.sim
+            .timers
+            .insert(id.0, (self.node, token, TimerTarget::App));
+        let at = self.sim.now() + after;
+        self.sim.queue.schedule(
+            at,
+            EventKind::TimerFired {
+                node: self.node,
+                timer: id,
+            },
+        );
+        id
+    }
+
+    /// Cancels a pending timer; harmless if it already fired.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.sim.timers.remove(&id.0);
+    }
+
+    /// The run's deterministic random number generator.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.sim.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwarding_path_accessors() {
+        let nodes = vec![NodeId::new(0), NodeId::new(1)];
+        let complete = ForwardingPath::Complete(nodes.clone());
+        assert!(complete.is_complete());
+        assert_eq!(complete.nodes(), &nodes[..]);
+        let broken = ForwardingPath::Broken(nodes.clone());
+        assert!(!broken.is_complete());
+        assert_eq!(broken.nodes(), &nodes[..]);
+        let looped = ForwardingPath::Loop(nodes.clone());
+        assert!(!looped.is_complete());
+    }
+
+    #[test]
+    fn builder_assigns_dense_node_ids() {
+        let mut b = SimulatorBuilder::new();
+        let ids = b.add_nodes(5);
+        assert_eq!(
+            ids,
+            (0..5).map(NodeId::new).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn neighbors_follow_link_insertion_order() {
+        let mut b = SimulatorBuilder::new();
+        let n = b.add_nodes(4);
+        b.add_link(n[0], n[2], LinkConfig::default()).unwrap();
+        b.add_link(n[0], n[1], LinkConfig::default()).unwrap();
+        b.add_link(n[0], n[3], LinkConfig::default()).unwrap();
+        let sim = b.build().unwrap();
+        assert_eq!(sim.neighbors(n[0]), vec![n[2], n[1], n[3]]);
+        assert_eq!(sim.neighbors(n[1]), vec![n[0]]);
+    }
+
+    #[test]
+    fn link_lookup_is_symmetric() {
+        let mut b = SimulatorBuilder::new();
+        let n = b.add_nodes(3);
+        let link = b.add_link(n[0], n[1], LinkConfig::default()).unwrap();
+        let sim = b.build().unwrap();
+        assert_eq!(sim.link_between(n[0], n[1]), Some(link));
+        assert_eq!(sim.link_between(n[1], n[0]), Some(link));
+        assert_eq!(sim.link_between(n[0], n[2]), None);
+        assert_eq!(sim.link_endpoints(link), (n[0], n[1]));
+    }
+
+    #[test]
+    fn stats_start_at_zero() {
+        let mut b = SimulatorBuilder::new();
+        b.add_node();
+        let sim = b.build().unwrap();
+        assert_eq!(sim.stats(), SimStats::default());
+        assert_eq!(sim.now(), SimTime::ZERO);
+        assert_eq!(sim.num_nodes(), 1);
+        assert_eq!(sim.num_links(), 0);
+    }
+
+    #[test]
+    fn scheduling_failures_on_unknown_links_errors() {
+        let mut b = SimulatorBuilder::new();
+        b.add_node();
+        let mut sim = b.build().unwrap();
+        let bogus = LinkId::new(9);
+        assert!(sim.schedule_link_failure(SimTime::from_secs(1), bogus).is_err());
+        assert!(sim.schedule_link_recovery(SimTime::from_secs(1), bogus).is_err());
+    }
+}

@@ -1,0 +1,352 @@
+//! Run traces.
+//!
+//! The simulator records everything the paper's post-hoc analysis needs:
+//! per-packet lifecycles (including every forwarding hop, for loop
+//! forensics), every FIB change (for convergence timing), control-plane
+//! message counts (for routing load) and link events. Metrics are computed
+//! from the trace by the `convergence` crate, never online, so a single run
+//! can answer every question the paper asks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ident::{LinkId, NodeId, PacketId};
+use crate::packet::DropReason;
+use crate::time::SimTime;
+
+/// One record in a simulation trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A traffic source handed a packet to its first router.
+    PacketInjected {
+        /// Event time.
+        time: SimTime,
+        /// Packet identifier.
+        id: PacketId,
+        /// Source router.
+        src: NodeId,
+        /// Destination router.
+        dst: NodeId,
+    },
+    /// `node` forwarded the packet toward `next_hop`.
+    PacketForwarded {
+        /// Event time.
+        time: SimTime,
+        /// Packet identifier.
+        id: PacketId,
+        /// Forwarding router.
+        node: NodeId,
+        /// Chosen next hop.
+        next_hop: NodeId,
+    },
+    /// The packet reached its destination.
+    PacketDelivered {
+        /// Event time.
+        time: SimTime,
+        /// Packet identifier.
+        id: PacketId,
+        /// Delivering router (== destination).
+        node: NodeId,
+        /// Hops traversed.
+        hops: u32,
+        /// Injection time, for delay computation.
+        sent_at: SimTime,
+    },
+    /// The packet was discarded.
+    PacketDropped {
+        /// Event time.
+        time: SimTime,
+        /// Packet identifier.
+        id: PacketId,
+        /// Router at which the drop occurred.
+        node: NodeId,
+        /// Why it was dropped.
+        reason: DropReason,
+        /// Injection time.
+        sent_at: SimTime,
+    },
+    /// A FIB entry changed (including initial installation, `old == None`).
+    RouteChanged {
+        /// Event time.
+        time: SimTime,
+        /// Router whose FIB changed.
+        node: NodeId,
+        /// Destination whose entry changed.
+        dest: NodeId,
+        /// Previous next hop.
+        old: Option<NodeId>,
+        /// New next hop (`None` = destination became unreachable).
+        new: Option<NodeId>,
+    },
+    /// A control message was handed to the output link.
+    ControlSent {
+        /// Event time.
+        time: SimTime,
+        /// Sending router.
+        from: NodeId,
+        /// Receiving router.
+        to: NodeId,
+        /// Wire size in bytes.
+        bytes: u32,
+    },
+    /// A link physically failed.
+    LinkFailed {
+        /// Event time.
+        time: SimTime,
+        /// The failed link.
+        link: LinkId,
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// A link physically recovered.
+    LinkRecovered {
+        /// Event time.
+        time: SimTime,
+        /// The recovered link.
+        link: LinkId,
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// `node` detected the state change of its link to `neighbor`.
+    LinkStateDetected {
+        /// Event time.
+        time: SimTime,
+        /// Detecting router.
+        node: NodeId,
+        /// Neighbor across the affected link.
+        neighbor: NodeId,
+        /// New perceived state.
+        up: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The timestamp of this record.
+    #[must_use]
+    pub fn time(&self) -> SimTime {
+        match self {
+            TraceEvent::PacketInjected { time, .. }
+            | TraceEvent::PacketForwarded { time, .. }
+            | TraceEvent::PacketDelivered { time, .. }
+            | TraceEvent::PacketDropped { time, .. }
+            | TraceEvent::RouteChanged { time, .. }
+            | TraceEvent::ControlSent { time, .. }
+            | TraceEvent::LinkFailed { time, .. }
+            | TraceEvent::LinkRecovered { time, .. }
+            | TraceEvent::LinkStateDetected { time, .. } => *time,
+        }
+    }
+}
+
+/// What the recorder keeps.
+///
+/// Hop-level records dominate trace volume; they can be disabled for
+/// performance benchmarking where only aggregates matter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Record a [`TraceEvent::PacketForwarded`] per hop (needed for loop
+    /// forensics and transient-path enumeration).
+    pub record_hops: bool,
+    /// Record a [`TraceEvent::ControlSent`] per routing message.
+    pub record_control: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            record_hops: true,
+            record_control: true,
+        }
+    }
+}
+
+/// An append-only record of everything observable in a run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Builds a trace from pre-recorded events (replay, synthesis in
+    /// tests, or deserialized archives).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the events are not in non-decreasing time order.
+    #[must_use]
+    pub fn from_events(events: Vec<TraceEvent>) -> Self {
+        assert!(
+            events.windows(2).all(|w| w[0].time() <= w[1].time()),
+            "trace events must be in time order"
+        );
+        Trace { events }
+    }
+
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        debug_assert!(
+            self.events.last().is_none_or(|e| e.time() <= event.time()),
+            "trace must be appended in time order"
+        );
+        self.events.push(event);
+    }
+
+    /// All records in time order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over records.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Counts records by kind — a quick sanity profile of a run.
+    #[must_use]
+    pub fn census(&self) -> TraceCensus {
+        let mut census = TraceCensus::default();
+        for event in &self.events {
+            match event {
+                TraceEvent::PacketInjected { .. } => census.injected += 1,
+                TraceEvent::PacketForwarded { .. } => census.forwarded += 1,
+                TraceEvent::PacketDelivered { .. } => census.delivered += 1,
+                TraceEvent::PacketDropped { .. } => census.dropped += 1,
+                TraceEvent::RouteChanged { .. } => census.route_changes += 1,
+                TraceEvent::ControlSent { .. } => census.control_sent += 1,
+                TraceEvent::LinkFailed { .. } => census.link_failures += 1,
+                TraceEvent::LinkRecovered { .. } => census.link_recoveries += 1,
+                TraceEvent::LinkStateDetected { .. } => census.detections += 1,
+            }
+        }
+        census
+    }
+}
+
+/// Per-kind record counts of a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceCensus {
+    /// Packets injected by sources.
+    pub injected: u64,
+    /// Hop-level forwarding records.
+    pub forwarded: u64,
+    /// Deliveries.
+    pub delivered: u64,
+    /// Drops (all causes).
+    pub dropped: u64,
+    /// FIB changes.
+    pub route_changes: u64,
+    /// Control messages offered to links.
+    pub control_sent: u64,
+    /// Physical link failures.
+    pub link_failures: u64,
+    /// Physical link recoveries.
+    pub link_recoveries: u64,
+    /// Per-endpoint failure/recovery detections.
+    pub detections: u64,
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceEvent;
+    type IntoIter = std::slice::Iter<'a, TraceEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_preserves_order_and_contents() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::LinkFailed {
+            time: SimTime::from_secs(1),
+            link: LinkId::new(0),
+            a: NodeId::new(0),
+            b: NodeId::new(1),
+        });
+        t.push(TraceEvent::LinkRecovered {
+            time: SimTime::from_secs(2),
+            link: LinkId::new(0),
+            a: NodeId::new(0),
+            b: NodeId::new(1),
+        });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[0].time(), SimTime::from_secs(1));
+        assert_eq!(t.iter().count(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn event_time_covers_all_variants() {
+        let t = SimTime::from_millis(5);
+        let ev = TraceEvent::PacketDropped {
+            time: t,
+            id: PacketId::new(0),
+            node: NodeId::new(0),
+            reason: DropReason::NoRoute,
+            sent_at: SimTime::ZERO,
+        };
+        assert_eq!(ev.time(), t);
+    }
+
+    #[test]
+    fn census_counts_by_kind() {
+        let t = Trace::from_events(vec![
+            TraceEvent::LinkFailed {
+                time: SimTime::from_secs(1),
+                link: LinkId::new(0),
+                a: NodeId::new(0),
+                b: NodeId::new(1),
+            },
+            TraceEvent::LinkStateDetected {
+                time: SimTime::from_secs(1),
+                node: NodeId::new(0),
+                neighbor: NodeId::new(1),
+                up: false,
+            },
+            TraceEvent::RouteChanged {
+                time: SimTime::from_secs(1),
+                node: NodeId::new(0),
+                dest: NodeId::new(1),
+                old: None,
+                new: None,
+            },
+        ]);
+        let census = t.census();
+        assert_eq!(census.link_failures, 1);
+        assert_eq!(census.detections, 1);
+        assert_eq!(census.route_changes, 1);
+        assert_eq!(census.injected, 0);
+    }
+
+    #[test]
+    fn default_config_records_everything() {
+        let cfg = TraceConfig::default();
+        assert!(cfg.record_hops);
+        assert!(cfg.record_control);
+    }
+}

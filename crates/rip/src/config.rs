@@ -1,0 +1,141 @@
+//! RIP configuration.
+
+use netsim::time::SimDuration;
+use routing_core::damping::DampingMode;
+use serde::{Deserialize, Serialize};
+
+/// How updates sent to a neighbor describe routes that point back through
+/// that neighbor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitHorizon {
+    /// Advertise everything (no loop prevention) — ablation only.
+    Disabled,
+    /// Omit routes whose next hop is the receiving neighbor.
+    Simple,
+    /// Advertise such routes with an infinite metric (the study's setting).
+    PoisonReverse,
+}
+
+/// Tunable RIP parameters.
+///
+/// Defaults are the paper's (§3): 30 s periodic updates, 180 s route
+/// timeout, 120 s garbage collection, triggered updates damped by a random
+/// 1–5 s timer, split horizon with poisoned reverse.
+///
+/// # Examples
+///
+/// ```
+/// use rip::config::RipConfig;
+/// use netsim::time::SimDuration;
+///
+/// let fast = RipConfig {
+///     periodic_interval: SimDuration::from_secs(10),
+///     ..RipConfig::default()
+/// };
+/// assert_eq!(fast.periodic_interval, SimDuration::from_secs(10));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RipConfig {
+    /// Interval between full-table periodic updates.
+    pub periodic_interval: SimDuration,
+    /// Uniform jitter applied to each periodic interval (±jitter), keeping
+    /// routers desynchronized.
+    pub periodic_jitter: SimDuration,
+    /// Shortest triggered-update damping window.
+    pub triggered_min: SimDuration,
+    /// Longest triggered-update damping window.
+    pub triggered_max: SimDuration,
+    /// Route timeout: a route not refreshed within this span becomes
+    /// unreachable.
+    pub route_timeout: SimDuration,
+    /// Garbage-collection delay: how long an unreachable route keeps being
+    /// advertised (poisoned) before deletion.
+    pub gc_delay: SimDuration,
+    /// Loop-prevention mode for outgoing updates.
+    pub split_horizon: SplitHorizon,
+    /// Whether the first triggered update after a quiet period is sent
+    /// immediately (RFC 2453 and the paper's §5.2 "a triggered update is
+    /// sent quickly"; the default) or also delayed (ablation).
+    pub damping_mode: DampingMode,
+    /// Classic hold-down: after a route dies, ignore all updates about
+    /// that destination for this long (`None` = RFC 2453 behavior, the
+    /// study's default). The §2 family of loop preventions that trade
+    /// availability for stability, provided for the ablation.
+    pub hold_down: Option<SimDuration>,
+}
+
+impl Default for RipConfig {
+    fn default() -> Self {
+        RipConfig {
+            periodic_interval: SimDuration::from_secs(30),
+            periodic_jitter: SimDuration::from_secs(3),
+            triggered_min: SimDuration::from_secs(1),
+            triggered_max: SimDuration::from_secs(5),
+            route_timeout: SimDuration::from_secs(180),
+            gc_delay: SimDuration::from_secs(120),
+            split_horizon: SplitHorizon::PoisonReverse,
+            damping_mode: DampingMode::FirstImmediate,
+            hold_down: None,
+        }
+    }
+}
+
+impl RipConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.periodic_interval.is_zero() {
+            return Err("periodic_interval must be positive".into());
+        }
+        if self.periodic_jitter >= self.periodic_interval {
+            return Err("periodic_jitter must be below periodic_interval".into());
+        }
+        if self.triggered_min > self.triggered_max {
+            return Err("triggered_min exceeds triggered_max".into());
+        }
+        if self.route_timeout < self.periodic_interval * 2 {
+            return Err("route_timeout must cover at least two periodic intervals".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid_and_matches_paper() {
+        let cfg = RipConfig::default();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.periodic_interval, SimDuration::from_secs(30));
+        assert_eq!(cfg.route_timeout, SimDuration::from_secs(180));
+        assert_eq!(cfg.triggered_min, SimDuration::from_secs(1));
+        assert_eq!(cfg.triggered_max, SimDuration::from_secs(5));
+        assert_eq!(cfg.split_horizon, SplitHorizon::PoisonReverse);
+    }
+
+    #[test]
+    fn validation_rejects_inconsistencies() {
+        let cfg = RipConfig {
+            triggered_min: SimDuration::from_secs(9),
+            ..RipConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+
+        let cfg = RipConfig {
+            periodic_jitter: SimDuration::from_secs(31),
+            ..RipConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+
+        let cfg = RipConfig {
+            route_timeout: SimDuration::from_secs(30),
+            ..RipConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

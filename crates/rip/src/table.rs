@@ -1,0 +1,148 @@
+//! The RIP routing table.
+//!
+//! Plain RIP keeps *only the best route* per destination — the design choice
+//! the paper blames for RIP's long path switch-over period (§4.1): when the
+//! next hop dies, nothing else is remembered, so reachability returns only
+//! with a neighbor's next periodic update.
+
+use netsim::ident::NodeId;
+use netsim::protocol::TimerId;
+use netsim::time::SimTime;
+use routing_core::Metric;
+
+/// One routing-table entry.
+#[derive(Debug, Clone)]
+pub struct Route {
+    /// Current distance to the destination (16 = unreachable, kept around
+    /// for poisoned advertisement until garbage collection).
+    pub metric: Metric,
+    /// The neighbor packets are forwarded to (`None` only for the self
+    /// route).
+    pub next_hop: Option<NodeId>,
+    /// Route-change flag driving triggered updates (RFC 2453 §3.10.1).
+    pub changed: bool,
+    /// Pending timeout timer, if the route is live.
+    pub timeout_timer: Option<TimerId>,
+    /// Pending garbage-collection timer, if the route is dying.
+    pub gc_timer: Option<TimerId>,
+    /// Hold-down deadline: until then, updates about this destination are
+    /// ignored (classic loop mitigation by delaying reconvergence;
+    /// disabled unless [`RipConfig::hold_down`](crate::RipConfig) is set).
+    pub hold_until: Option<SimTime>,
+}
+
+/// A destination-indexed table of best routes.
+#[derive(Debug, Clone, Default)]
+pub struct RipTable {
+    routes: Vec<Option<Route>>,
+}
+
+impl RipTable {
+    /// Creates a table able to hold `num_nodes` destinations.
+    #[must_use]
+    pub fn new(num_nodes: usize) -> Self {
+        RipTable {
+            routes: (0..num_nodes).map(|_| None).collect(),
+        }
+    }
+
+    /// The route for `dest`, if any.
+    #[must_use]
+    pub fn get(&self, dest: NodeId) -> Option<&Route> {
+        self.routes.get(dest.index())?.as_ref()
+    }
+
+    /// Mutable access to the route for `dest`.
+    pub fn get_mut(&mut self, dest: NodeId) -> Option<&mut Route> {
+        self.routes.get_mut(dest.index())?.as_mut()
+    }
+
+    /// Inserts or replaces the route for `dest`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest` is out of range.
+    pub fn insert(&mut self, dest: NodeId, route: Route) {
+        self.routes[dest.index()] = Some(route);
+    }
+
+    /// Removes the route for `dest` entirely (garbage collection).
+    pub fn remove(&mut self, dest: NodeId) -> Option<Route> {
+        self.routes.get_mut(dest.index())?.take()
+    }
+
+    /// Iterates over `(dest, route)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Route)> {
+        self.routes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|route| (NodeId::new(i as u32), route)))
+    }
+
+    /// Destinations whose change flag is set.
+    #[must_use]
+    pub fn changed_dests(&self) -> Vec<NodeId> {
+        self.iter()
+            .filter(|(_, r)| r.changed)
+            .map(|(d, _)| d)
+            .collect()
+    }
+
+    /// Clears every change flag (after an update has been sent).
+    pub fn clear_changed(&mut self) {
+        for r in self.routes.iter_mut().flatten() {
+            r.changed = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn live_route(metric: u32, next_hop: u32) -> Route {
+        Route {
+            metric: Metric::new(metric),
+            next_hop: Some(NodeId::new(next_hop)),
+            changed: false,
+            timeout_timer: None,
+            gc_timer: None,
+            hold_until: None,
+        }
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut t = RipTable::new(4);
+        t.insert(NodeId::new(2), live_route(3, 1));
+        assert_eq!(t.get(NodeId::new(2)).unwrap().metric, Metric::new(3));
+        assert!(t.remove(NodeId::new(2)).is_some());
+        assert!(t.get(NodeId::new(2)).is_none());
+    }
+
+    #[test]
+    fn changed_flags_are_tracked_and_cleared() {
+        let mut t = RipTable::new(4);
+        t.insert(NodeId::new(0), live_route(1, 1));
+        t.insert(NodeId::new(3), live_route(2, 1));
+        t.get_mut(NodeId::new(3)).unwrap().changed = true;
+        assert_eq!(t.changed_dests(), vec![NodeId::new(3)]);
+        t.clear_changed();
+        assert!(t.changed_dests().is_empty());
+    }
+
+    #[test]
+    fn iter_skips_missing_destinations() {
+        let mut t = RipTable::new(5);
+        t.insert(NodeId::new(1), live_route(1, 0));
+        t.insert(NodeId::new(4), live_route(1, 0));
+        let dests: Vec<NodeId> = t.iter().map(|(d, _)| d).collect();
+        assert_eq!(dests, vec![NodeId::new(1), NodeId::new(4)]);
+    }
+
+    #[test]
+    fn out_of_range_lookups_are_none() {
+        let t = RipTable::new(2);
+        assert!(t.get(NodeId::new(7)).is_none());
+    }
+}

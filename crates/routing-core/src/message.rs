@@ -1,0 +1,141 @@
+//! The distance-vector wire format shared by RIP and DBF.
+
+use netsim::ident::NodeId;
+use netsim::protocol::Payload;
+use serde::{Deserialize, Serialize};
+
+use crate::metric::Metric;
+
+/// Maximum route entries per message (RFC 2453 §3.6: 25 RTEs).
+///
+/// The paper leans on this constant: a 49-destination network fits in two
+/// RIP messages, so a link failure's full impact propagates almost at once,
+/// whereas BGP must split updates by path (§5.2).
+pub const MAX_ENTRIES_PER_MESSAGE: usize = 25;
+
+/// One route entry: a destination and the advertised distance to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DvEntry {
+    /// The advertised destination.
+    pub dest: NodeId,
+    /// The announcing router's distance (possibly poisoned to infinity).
+    pub metric: Metric,
+}
+
+/// A distance-vector update message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DvMessage {
+    /// Up to [`MAX_ENTRIES_PER_MESSAGE`] route entries.
+    pub entries: Vec<DvEntry>,
+}
+
+impl DvMessage {
+    /// Creates a message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_ENTRIES_PER_MESSAGE`] entries are supplied;
+    /// use [`pack_entries`] to split larger vectors.
+    #[must_use]
+    pub fn new(entries: Vec<DvEntry>) -> Self {
+        assert!(
+            entries.len() <= MAX_ENTRIES_PER_MESSAGE,
+            "message overflow: {} entries",
+            entries.len()
+        );
+        DvMessage { entries }
+    }
+}
+
+impl Payload for DvMessage {
+    /// RIPv2 sizing: 4-byte header + 20 bytes per route entry.
+    fn size_bytes(&self) -> usize {
+        4 + 20 * self.entries.len()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Splits an arbitrary entry list into maximal messages.
+///
+/// # Examples
+///
+/// ```
+/// use routing_core::message::{pack_entries, DvEntry, MAX_ENTRIES_PER_MESSAGE};
+/// use routing_core::metric::Metric;
+/// use netsim::ident::NodeId;
+///
+/// let entries: Vec<DvEntry> = (0..60)
+///     .map(|i| DvEntry { dest: NodeId::new(i), metric: Metric::new(1) })
+///     .collect();
+/// let messages = pack_entries(entries);
+/// assert_eq!(messages.len(), 3);
+/// assert_eq!(messages[0].entries.len(), MAX_ENTRIES_PER_MESSAGE);
+/// assert_eq!(messages[2].entries.len(), 10);
+/// ```
+#[must_use]
+pub fn pack_entries(entries: Vec<DvEntry>) -> Vec<DvMessage> {
+    if entries.is_empty() {
+        return Vec::new();
+    }
+    let mut messages = Vec::with_capacity(entries.len().div_ceil(MAX_ENTRIES_PER_MESSAGE));
+    let mut batch = Vec::with_capacity(MAX_ENTRIES_PER_MESSAGE.min(entries.len()));
+    for entry in entries {
+        batch.push(entry);
+        if batch.len() == MAX_ENTRIES_PER_MESSAGE {
+            messages.push(DvMessage::new(std::mem::take(&mut batch)));
+        }
+    }
+    if !batch.is_empty() {
+        messages.push(DvMessage::new(batch));
+    }
+    messages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(i: u32) -> DvEntry {
+        DvEntry {
+            dest: NodeId::new(i),
+            metric: Metric::new(i),
+        }
+    }
+
+    #[test]
+    fn sizes_match_ripv2() {
+        assert_eq!(DvMessage::new(vec![]).size_bytes(), 4);
+        assert_eq!(DvMessage::new(vec![entry(0)]).size_bytes(), 24);
+        let full = DvMessage::new((0..25).map(entry).collect());
+        assert_eq!(full.size_bytes(), 504);
+    }
+
+    #[test]
+    fn packing_preserves_order_and_contents() {
+        let packed = pack_entries((0..30).map(entry).collect());
+        assert_eq!(packed.len(), 2);
+        let flat: Vec<DvEntry> = packed.into_iter().flat_map(|m| m.entries).collect();
+        assert_eq!(flat, (0..30).map(entry).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn packing_empty_produces_no_messages() {
+        assert!(pack_entries(vec![]).is_empty());
+    }
+
+    #[test]
+    fn exact_multiple_has_no_trailing_empty_message() {
+        let packed = pack_entries((0..50).map(entry).collect());
+        assert_eq!(packed.len(), 2);
+        assert!(packed.iter().all(|m| m.entries.len() == 25));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn oversized_message_is_rejected() {
+        let _ = DvMessage::new((0..26).map(entry).collect());
+    }
+}

@@ -1,0 +1,156 @@
+//! AS paths for path-vector routing.
+
+use std::fmt;
+
+use netsim::ident::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A BGP-style AS path: the sequence of routers an announcement traversed,
+/// most recent first (the paper models one router per AS).
+///
+/// # Examples
+///
+/// ```
+/// use routing_core::path::AsPath;
+/// use netsim::ident::NodeId;
+///
+/// let origin = AsPath::origin(NodeId::new(9));
+/// let via7 = origin.prepended(NodeId::new(7));
+/// assert_eq!(via7.len(), 2);
+/// assert!(via7.contains(NodeId::new(9)));
+/// assert_eq!(via7.first(), Some(NodeId::new(7)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AsPath {
+    hops: Vec<NodeId>,
+}
+
+impl AsPath {
+    /// The path a destination announces for itself: just its own id.
+    #[must_use]
+    pub fn origin(node: NodeId) -> Self {
+        AsPath { hops: vec![node] }
+    }
+
+    /// A path from an explicit hop sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hops` is empty (an AS path always contains the origin).
+    #[must_use]
+    pub fn from_hops(hops: Vec<NodeId>) -> Self {
+        assert!(!hops.is_empty(), "AS path must contain the origin");
+        AsPath { hops }
+    }
+
+    /// Returns this path with `node` prepended (what a router does before
+    /// re-announcing a route).
+    #[must_use]
+    pub fn prepended(&self, node: NodeId) -> AsPath {
+        let mut hops = Vec::with_capacity(self.hops.len() + 1);
+        hops.push(node);
+        hops.extend_from_slice(&self.hops);
+        AsPath { hops }
+    }
+
+    /// Number of ASes on the path (the route-selection metric).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// An AS path is never empty; this exists for API completeness.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Returns `true` if `node` appears anywhere on the path — BGP's loop
+    /// detection test.
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.hops.contains(&node)
+    }
+
+    /// The most recent hop (the announcing neighbor's own id).
+    #[must_use]
+    pub fn first(&self) -> Option<NodeId> {
+        self.hops.first().copied()
+    }
+
+    /// The originating AS.
+    #[must_use]
+    pub fn origin_as(&self) -> NodeId {
+        *self.hops.last().expect("AS path is never empty")
+    }
+
+    /// The hop sequence, most recent first.
+    #[must_use]
+    pub fn hops(&self) -> &[NodeId] {
+        &self.hops
+    }
+
+    /// Wire size: 2 bytes per AS number (as in BGP-4 AS_PATH segments).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        2 + 2 * self.hops.len()
+    }
+}
+
+impl fmt::Display for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for hop in &self.hops {
+            if !first {
+                f.write_str(" ")?;
+            }
+            write!(f, "{hop}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn prepend_builds_longer_paths() {
+        let p = AsPath::origin(n(5)).prepended(n(3)).prepended(n(1));
+        assert_eq!(p.hops(), &[n(1), n(3), n(5)]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.origin_as(), n(5));
+        assert_eq!(p.first(), Some(n(1)));
+    }
+
+    #[test]
+    fn loop_detection_sees_every_hop() {
+        let p = AsPath::origin(n(5)).prepended(n(3));
+        assert!(p.contains(n(5)));
+        assert!(p.contains(n(3)));
+        assert!(!p.contains(n(4)));
+    }
+
+    #[test]
+    fn display_is_space_separated() {
+        let p = AsPath::origin(n(2)).prepended(n(1));
+        assert_eq!(p.to_string(), "n1 n2");
+    }
+
+    #[test]
+    #[should_panic(expected = "origin")]
+    fn empty_paths_are_rejected() {
+        let _ = AsPath::from_hops(vec![]);
+    }
+
+    #[test]
+    fn size_tracks_length() {
+        assert_eq!(AsPath::origin(n(0)).size_bytes(), 4);
+        assert_eq!(AsPath::origin(n(0)).prepended(n(1)).size_bytes(), 6);
+    }
+}

@@ -1,0 +1,266 @@
+//! An undirected simple graph over [`NodeId`]s.
+//!
+//! This is the topology-description layer: experiments build a [`Graph`]
+//! first (usually with [`crate::mesh`]), analyze it, then instantiate it as
+//! a simulated network.
+
+use std::collections::BTreeSet;
+
+use netsim::ident::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// An undirected edge, stored with `a < b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Lower-numbered endpoint.
+    pub a: NodeId,
+    /// Higher-numbered endpoint.
+    pub b: NodeId,
+}
+
+impl Edge {
+    /// Creates a normalized edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    #[must_use]
+    pub fn new(a: NodeId, b: NodeId) -> Self {
+        assert_ne!(a, b, "self-loop edge at {a}");
+        if a < b {
+            Edge { a, b }
+        } else {
+            Edge { a: b, b: a }
+        }
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not an endpoint.
+    #[must_use]
+    pub fn other(&self, n: NodeId) -> NodeId {
+        if n == self.a {
+            self.b
+        } else if n == self.b {
+            self.a
+        } else {
+            panic!("{n} is not an endpoint of {self:?}")
+        }
+    }
+}
+
+/// An undirected simple graph.
+///
+/// # Examples
+///
+/// ```
+/// use topology::graph::Graph;
+/// use netsim::ident::NodeId;
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1));
+/// g.add_edge(NodeId::new(1), NodeId::new(2));
+/// assert_eq!(g.degree(NodeId::new(1)), 2);
+/// assert!(g.is_connected());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    num_nodes: usize,
+    edges: BTreeSet<Edge>,
+    adjacency: Vec<Vec<NodeId>>,
+}
+
+impl Graph {
+    /// Creates a graph with `num_nodes` isolated nodes.
+    #[must_use]
+    pub fn new(num_nodes: usize) -> Self {
+        Graph {
+            num_nodes,
+            edges: BTreeSet::new(),
+            adjacency: vec![Vec::new(); num_nodes],
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{a, b}`; duplicate additions are no-ops.
+    ///
+    /// Returns `true` if the edge was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        assert!(a.index() < self.num_nodes, "node {a} out of range");
+        assert!(b.index() < self.num_nodes, "node {b} out of range");
+        let edge = Edge::new(a, b);
+        if self.edges.insert(edge) {
+            self.adjacency[a.index()].push(b);
+            self.adjacency[b.index()].push(a);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns `true` if `{a, b}` is an edge.
+    #[must_use]
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.edges.contains(&Edge::new(a, b))
+    }
+
+    /// The neighbors of `n` in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, n: NodeId) -> &[NodeId] {
+        &self.adjacency[n.index()]
+    }
+
+    /// The degree of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[must_use]
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adjacency[n.index()].len()
+    }
+
+    /// Iterates over all edges in normalized order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes as u32).map(NodeId::new)
+    }
+
+    /// Returns a copy of the graph with one edge removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge does not exist.
+    #[must_use]
+    pub fn without_edge(&self, edge: Edge) -> Graph {
+        assert!(self.edges.contains(&edge), "no such edge {edge:?}");
+        let mut g = Graph::new(self.num_nodes);
+        for e in &self.edges {
+            if *e != edge {
+                g.add_edge(e.a, e.b);
+            }
+        }
+        g
+    }
+
+    /// Returns `true` if every node can reach every other node.
+    ///
+    /// The empty graph is considered connected.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        if self.num_nodes == 0 {
+            return true;
+        }
+        let mut seen = vec![false; self.num_nodes];
+        let mut stack = vec![NodeId::new(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(n) = stack.pop() {
+            for &m in self.neighbors(n) {
+                if !seen[m.index()] {
+                    seen[m.index()] = true;
+                    count += 1;
+                    stack.push(m);
+                }
+            }
+        }
+        count == self.num_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn edges_are_normalized_and_deduplicated() {
+        let mut g = Graph::new(3);
+        assert!(g.add_edge(n(2), n(1)));
+        assert!(!g.add_edge(n(1), n(2)));
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(n(1), n(2)));
+        assert!(g.has_edge(n(2), n(1)));
+    }
+
+    #[test]
+    fn edge_other_returns_opposite_endpoint() {
+        let e = Edge::new(n(3), n(1));
+        assert_eq!(e.other(n(1)), n(3));
+        assert_eq!(e.other(n(3)), n(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_other_panics_for_stranger() {
+        let _ = Edge::new(n(0), n(1)).other(n(2));
+    }
+
+    #[test]
+    fn degree_counts_incident_edges() {
+        let mut g = Graph::new(4);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(0), n(2));
+        g.add_edge(n(0), n(3));
+        assert_eq!(g.degree(n(0)), 3);
+        assert_eq!(g.degree(n(3)), 1);
+    }
+
+    #[test]
+    fn connectivity_detects_partitions() {
+        let mut g = Graph::new(4);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(2), n(3));
+        assert!(!g.is_connected());
+        g.add_edge(n(1), n(2));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn without_edge_removes_exactly_one() {
+        let mut g = Graph::new(3);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        let g2 = g.without_edge(Edge::new(n(0), n(1)));
+        assert_eq!(g2.num_edges(), 1);
+        assert!(!g2.has_edge(n(0), n(1)));
+        assert!(g2.has_edge(n(1), n(2)));
+        // Original untouched.
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(Graph::new(0).is_connected());
+        assert!(Graph::new(1).is_connected());
+        assert!(!Graph::new(2).is_connected());
+    }
+}

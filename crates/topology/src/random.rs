@@ -1,0 +1,161 @@
+//! Random topology generators for the extension experiments.
+//!
+//! The paper deliberately uses regular meshes ("a random topology presents a
+//! random factor in each simulation run", §5); the study's extensions use
+//! these generators to confirm that the degree-vs-delivery trend is not an
+//! artifact of mesh regularity.
+
+use netsim::ident::NodeId;
+use netsim::rng::SimRng;
+
+use crate::graph::Graph;
+
+/// Generates a connected Gilbert `G(n, p)` random graph.
+///
+/// Each potential edge is included independently with probability `p`;
+/// afterwards, any disconnected component is stitched to the first component
+/// with one edge (keeping the graph simple), so the result is always
+/// connected and usable as a network topology.
+///
+/// # Examples
+///
+/// ```
+/// use topology::random::gilbert;
+/// use netsim::rng::SimRng;
+///
+/// let g = gilbert(20, 0.2, &mut SimRng::seed_from(1));
+/// assert!(g.is_connected());
+/// assert_eq!(g.num_nodes(), 20);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `p` is not in `[0, 1]`.
+#[must_use]
+pub fn gilbert(n: usize, p: f64, rng: &mut SimRng) -> Graph {
+    assert!(n >= 2, "need at least two nodes");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_unit() < p {
+                g.add_edge(NodeId::new(i as u32), NodeId::new(j as u32));
+            }
+        }
+    }
+    stitch_components(&mut g, rng);
+    g
+}
+
+/// Generates a connected Waxman random graph on a unit square.
+///
+/// Nodes get uniform positions; the probability of an edge between nodes at
+/// Euclidean distance `d` is `alpha * exp(-d / (beta * L))` with `L` the
+/// maximum possible distance. Classic parameters are `alpha=0.4, beta=0.14`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or the parameters are non-positive.
+#[must_use]
+pub fn waxman(n: usize, alpha: f64, beta: f64, rng: &mut SimRng) -> Graph {
+    assert!(n >= 2, "need at least two nodes");
+    assert!(alpha > 0.0 && beta > 0.0, "alpha and beta must be positive");
+    let positions: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen_unit(), rng.gen_unit())).collect();
+    let l = 2f64.sqrt();
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (xi, yi) = positions[i];
+            let (xj, yj) = positions[j];
+            let d = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt();
+            let p = alpha * (-d / (beta * l)).exp();
+            if rng.gen_unit() < p {
+                g.add_edge(NodeId::new(i as u32), NodeId::new(j as u32));
+            }
+        }
+    }
+    stitch_components(&mut g, rng);
+    g
+}
+
+/// Connects all components by linking a random node of each non-primary
+/// component to a random node of the primary one.
+fn stitch_components(g: &mut Graph, rng: &mut SimRng) {
+    let n = g.num_nodes();
+    loop {
+        let mut comp = vec![usize::MAX; n];
+        let mut count = 0;
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![NodeId::new(start as u32)];
+            comp[start] = count;
+            while let Some(at) = stack.pop() {
+                for &m in g.neighbors(at) {
+                    if comp[m.index()] == usize::MAX {
+                        comp[m.index()] = count;
+                        stack.push(m);
+                    }
+                }
+            }
+            count += 1;
+        }
+        if count == 1 {
+            return;
+        }
+        // Join component 1 to component 0 with a random edge.
+        let members = |c: usize| -> Vec<NodeId> {
+            comp.iter()
+                .enumerate()
+                .filter(|&(_, &cc)| cc == c)
+                .map(|(i, _)| NodeId::new(i as u32))
+                .collect()
+        };
+        let from = *rng.choose(&members(0));
+        let to = *rng.choose(&members(1));
+        g.add_edge(from, to);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gilbert_is_connected_even_when_sparse() {
+        for seed in 0..20 {
+            let g = gilbert(30, 0.02, &mut SimRng::seed_from(seed));
+            assert!(g.is_connected(), "seed {seed} produced a partition");
+        }
+    }
+
+    #[test]
+    fn gilbert_density_tracks_p() {
+        let mut rng = SimRng::seed_from(5);
+        let sparse = gilbert(40, 0.05, &mut rng);
+        let dense = gilbert(40, 0.5, &mut rng);
+        assert!(dense.num_edges() > sparse.num_edges() * 3);
+    }
+
+    #[test]
+    fn gilbert_is_deterministic_per_seed() {
+        let a = gilbert(25, 0.15, &mut SimRng::seed_from(9));
+        let b = gilbert(25, 0.15, &mut SimRng::seed_from(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn waxman_is_connected_and_deterministic() {
+        let a = waxman(30, 0.4, 0.14, &mut SimRng::seed_from(3));
+        let b = waxman(30, 0.4, 0.14, &mut SimRng::seed_from(3));
+        assert!(a.is_connected());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn gilbert_rejects_bad_p() {
+        let _ = gilbert(10, 1.5, &mut SimRng::seed_from(0));
+    }
+}

@@ -1,0 +1,217 @@
+//! Shortest paths on unit-cost topologies.
+//!
+//! Experiments use these as ground truth: steady-state forwarding must agree
+//! with BFS distances, and the post-failure "final shortest path" of §5.4 is
+//! computed here. Tie-breaking is deterministic (lowest node id first) so
+//! results are reproducible.
+
+use std::collections::VecDeque;
+
+use netsim::ident::NodeId;
+
+use crate::graph::Graph;
+
+/// The single-source shortest path tree of a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShortestPaths {
+    source: NodeId,
+    dist: Vec<Option<u32>>,
+    parent: Vec<Option<NodeId>>,
+}
+
+impl ShortestPaths {
+    /// The source node this tree was computed from.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Hop distance from the source to `node`, or `None` if unreachable.
+    #[must_use]
+    pub fn distance(&self, node: NodeId) -> Option<u32> {
+        self.dist.get(node.index()).copied().flatten()
+    }
+
+    /// The predecessor of `node` on its shortest path from the source.
+    #[must_use]
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.parent.get(node.index()).copied().flatten()
+    }
+
+    /// The full path `source..=dst`, or `None` if unreachable.
+    #[must_use]
+    pub fn path_to(&self, dst: NodeId) -> Option<Vec<NodeId>> {
+        self.distance(dst)?;
+        let mut path = vec![dst];
+        let mut at = dst;
+        while at != self.source {
+            at = self.parent(at)?;
+            path.push(at);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Breadth-first shortest paths from `source`, breaking ties toward lower
+/// node ids.
+///
+/// # Examples
+///
+/// ```
+/// use topology::graph::Graph;
+/// use topology::shortest_path::bfs;
+/// use netsim::ident::NodeId;
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1));
+/// g.add_edge(NodeId::new(1), NodeId::new(2));
+/// let sp = bfs(&g, NodeId::new(0));
+/// assert_eq!(sp.distance(NodeId::new(2)), Some(2));
+/// assert_eq!(sp.path_to(NodeId::new(2)).unwrap().len(), 3);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+#[must_use]
+pub fn bfs(graph: &Graph, source: NodeId) -> ShortestPaths {
+    assert!(source.index() < graph.num_nodes(), "{source} out of range");
+    let n = graph.num_nodes();
+    let mut dist = vec![None; n];
+    let mut parent = vec![None; n];
+    dist[source.index()] = Some(0);
+    let mut queue = VecDeque::from([source]);
+    while let Some(at) = queue.pop_front() {
+        let d = dist[at.index()].expect("queued node has distance");
+        // Sort for deterministic parent assignment regardless of insertion
+        // order.
+        let mut neighbors: Vec<NodeId> = graph.neighbors(at).to_vec();
+        neighbors.sort_unstable();
+        for m in neighbors {
+            if dist[m.index()].is_none() {
+                dist[m.index()] = Some(d + 1);
+                parent[m.index()] = Some(at);
+                queue.push_back(m);
+            }
+        }
+    }
+    ShortestPaths {
+        source,
+        dist,
+        parent,
+    }
+}
+
+/// All-pairs hop distances (one BFS per node).
+///
+/// `result[src][dst]` is `None` for unreachable pairs.
+#[must_use]
+pub fn all_pairs_distances(graph: &Graph) -> Vec<Vec<Option<u32>>> {
+    graph
+        .nodes()
+        .map(|src| {
+            let sp = bfs(graph, src);
+            graph.nodes().map(|dst| sp.distance(dst)).collect()
+        })
+        .collect()
+}
+
+/// The length of the longest shortest path, or `None` if disconnected.
+#[must_use]
+pub fn diameter(graph: &Graph) -> Option<u32> {
+    let mut max = 0;
+    for row in all_pairs_distances(graph) {
+        for d in row {
+            max = max.max(d?);
+        }
+    }
+    Some(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::{Mesh, MeshDegree};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn bfs_on_line_counts_hops() {
+        let mut g = Graph::new(4);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        g.add_edge(n(2), n(3));
+        let sp = bfs(&g, n(0));
+        assert_eq!(sp.distance(n(3)), Some(3));
+        assert_eq!(sp.path_to(n(3)), Some(vec![n(0), n(1), n(2), n(3)]));
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_distance() {
+        let mut g = Graph::new(3);
+        g.add_edge(n(0), n(1));
+        let sp = bfs(&g, n(0));
+        assert_eq!(sp.distance(n(2)), None);
+        assert_eq!(sp.path_to(n(2)), None);
+    }
+
+    #[test]
+    fn tie_break_prefers_lower_ids() {
+        // A square: two equal paths 0-1-3 and 0-2-3; parent of 3 must be 1.
+        let mut g = Graph::new(4);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(0), n(2));
+        g.add_edge(n(1), n(3));
+        g.add_edge(n(2), n(3));
+        let sp = bfs(&g, n(0));
+        assert_eq!(sp.parent(n(3)), Some(n(1)));
+    }
+
+    #[test]
+    fn grid_distance_is_manhattan() {
+        let mesh = Mesh::regular(7, 7, MeshDegree::D4);
+        let sp = bfs(mesh.graph(), mesh.node_at(0, 0));
+        assert_eq!(sp.distance(mesh.node_at(6, 6)), Some(12));
+        assert_eq!(sp.distance(mesh.node_at(3, 4)), Some(7));
+    }
+
+    #[test]
+    fn diagonals_shorten_paths() {
+        let d4 = Mesh::regular(7, 7, MeshDegree::D4);
+        let d8 = Mesh::regular(7, 7, MeshDegree::D8);
+        let far = |m: &Mesh| {
+            bfs(m.graph(), m.node_at(0, 0))
+                .distance(m.node_at(6, 6))
+                .unwrap()
+        };
+        assert_eq!(far(&d4), 12);
+        assert_eq!(far(&d8), 6);
+    }
+
+    #[test]
+    fn diameter_shrinks_with_connectivity() {
+        // Note `\` diagonals alone (degree 5/6) do not shorten the
+        // anti-diagonal corner pair, so the diameter only strictly drops
+        // once `/` diagonals appear (degree 7/8).
+        let diam = |d: MeshDegree| diameter(Mesh::regular(7, 7, d).graph()).unwrap();
+        assert!(diam(MeshDegree::D3) >= diam(MeshDegree::D4));
+        assert!(diam(MeshDegree::D4) >= diam(MeshDegree::D6));
+        assert!(diam(MeshDegree::D6) > diam(MeshDegree::D7));
+        assert!(diam(MeshDegree::D7) >= diam(MeshDegree::D8));
+        assert!(diam(MeshDegree::D8) < diam(MeshDegree::D4));
+    }
+
+    #[test]
+    fn all_pairs_is_symmetric() {
+        let mesh = Mesh::regular(5, 5, MeshDegree::D5);
+        let d = all_pairs_distances(mesh.graph());
+        for (i, row) in d.iter().enumerate() {
+            for (j, value) in row.iter().enumerate() {
+                assert_eq!(*value, d[j][i]);
+            }
+        }
+    }
+}

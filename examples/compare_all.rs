@@ -1,0 +1,65 @@
+//! Run all six protocols through the identical failure scenario and print
+//! a side-by-side scorecard — the whole study in one table.
+//!
+//! ```text
+//! cargo run --release --example compare_all [degree] [runs]
+//! ```
+
+use convergence::prelude::*;
+use convergence::report::{fmt_f64, Table};
+use topology::mesh::MeshDegree;
+
+fn main() -> Result<(), RunError> {
+    let degree = std::env::args()
+        .nth(1)
+        .map(|a| {
+            MeshDegree::try_from_u32(a.parse().expect("degree must be a number"))
+                .expect("degree must be 3..=8")
+        })
+        .unwrap_or(MeshDegree::D4);
+    let runs: usize = std::env::args()
+        .nth(2)
+        .map(|a| a.parse().expect("runs must be a number"))
+        .unwrap_or(10);
+
+    println!("all protocols, degree {degree}, {runs} runs each (identical scenarios)\n");
+    let mut table = Table::new(
+        [
+            "protocol",
+            "delivery %",
+            "no-route",
+            "ttl",
+            "switch-over(s)",
+            "fwdconv(s)",
+            "rtconv(s)",
+            "msgs",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for protocol in ProtocolKind::ALL {
+        let summaries: Vec<RunSummary> = (0..runs)
+            .map(|i| {
+                let cfg = ExperimentConfig::paper(protocol, degree, 4242 + i as u64);
+                run(&cfg).map(|r| summarize(&r))
+            })
+            .collect::<Result<_, _>>()?;
+        let point = convergence::aggregate::aggregate_point(&summaries);
+        table.push_row(vec![
+            protocol.label().to_string(),
+            format!("{:.2}", 100.0 * point.delivery_ratio.mean),
+            fmt_f64(point.drops_no_route.mean),
+            fmt_f64(point.ttl_expirations.mean),
+            fmt_f64(point.max_switchover_s.mean),
+            fmt_f64(point.forwarding_convergence_s.mean),
+            fmt_f64(point.routing_convergence_s.mean),
+            fmt_f64(point.control_messages.mean),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Reading guide: RIP pays for statelessness in switch-over time and");
+    println!("drops; BGP pays for its 30 s MRAI in convergence time and (sparse)");
+    println!("loops; DBF/BGP-3 ride cached alternates; SPF floods and recomputes");
+    println!("in milliseconds; DUAL never loops but freezes during diffusion.");
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! A terminal rendition of Figure 5: instantaneous throughput around the
+//! failure for all four protocols, on a chosen mesh degree.
+//!
+//! ```text
+//! cargo run --release --example throughput_timeline [degree] [runs]
+//! ```
+
+use convergence::metrics::series::{mean_u64_series, throughput_series};
+use convergence::prelude::*;
+use topology::mesh::MeshDegree;
+
+const FROM_S: i64 = -10;
+const TO_S: i64 = 40;
+
+fn main() -> Result<(), RunError> {
+    let degree = std::env::args()
+        .nth(1)
+        .map(|a| {
+            MeshDegree::try_from_u32(a.parse().expect("degree must be a number"))
+                .expect("degree must be 3..=8")
+        })
+        .unwrap_or(MeshDegree::D3);
+    let runs: usize = std::env::args()
+        .nth(2)
+        .map(|a| a.parse().expect("runs must be a number"))
+        .unwrap_or(20);
+
+    println!("instantaneous throughput, degree {degree}, {runs} runs averaged");
+    println!("x-axis: {FROM_S}..{TO_S} s around the failure; full rate = 20 pkt/s\n");
+
+    for protocol in ProtocolKind::PAPER {
+        let mut all = Vec::new();
+        for i in 0..runs {
+            let cfg = ExperimentConfig::paper(protocol, degree, 500 + i as u64);
+            let result = run(&cfg)?;
+            all.push(throughput_series(&result.trace, result.t_fail, FROM_S, TO_S));
+        }
+        let mean = mean_u64_series(&all);
+        // Render as rows of a bar chart, one character per second.
+        let bars: String = mean
+            .iter()
+            .map(|&(_, v)| {
+                const GLYPHS: [char; 9] =
+                    [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+                let ix = ((v / 20.0) * 8.0).round().clamp(0.0, 8.0) as usize;
+                GLYPHS[ix]
+            })
+            .collect();
+        println!("{:>5} |{bars}|", protocol.label());
+    }
+    let marker: String = (FROM_S..TO_S)
+        .map(|s| if s == 0 { '^' } else { ' ' })
+        .collect();
+    println!("       {marker} failure");
+    println!();
+    println!("Expected (paper Fig. 5): at degree 3 every protocol dips; RIP");
+    println!("recovers on the 30 s periodic cycle, BGP on the ~30 s MRAI,");
+    println!("DBF/BGP-3 within seconds. At degree 6 only RIP still dips.");
+    Ok(())
+}

@@ -1,0 +1,150 @@
+//! End-to-end assertions of the paper's five observations, each checked
+//! over a handful of seeded runs (the figure binaries run the full
+//! 100-run versions).
+
+use convergence::aggregate::aggregate_point;
+use convergence::prelude::*;
+use topology::mesh::MeshDegree;
+
+const RUNS: usize = 8;
+
+fn point(protocol: ProtocolKind, degree: MeshDegree) -> convergence::aggregate::PointSummary {
+    let summaries: Vec<RunSummary> = (0..RUNS)
+        .map(|i| {
+            let cfg = ExperimentConfig::paper(protocol, degree, 7000 + i as u64);
+            summarize(&run(&cfg).expect("run succeeds"))
+        })
+        .collect();
+    aggregate_point(&summaries)
+}
+
+#[test]
+fn observation_1_drops_fall_with_degree_and_rip_stays_worst() {
+    for protocol in [ProtocolKind::Dbf, ProtocolKind::Bgp, ProtocolKind::Bgp3] {
+        let sparse = point(protocol, MeshDegree::D3);
+        let dense = point(protocol, MeshDegree::D6);
+        assert!(
+            sparse.drops_no_route.mean > dense.drops_no_route.mean,
+            "{protocol}: drops should fall with connectivity"
+        );
+        assert!(
+            dense.drops_no_route.mean < 1.0,
+            "{protocol}: virtually no drops at degree 6, got {}",
+            dense.drops_no_route.mean
+        );
+    }
+    let rip_dense = point(ProtocolKind::Rip, MeshDegree::D6);
+    assert!(
+        rip_dense.drops_no_route.mean > 10.0,
+        "RIP improves only slightly; expected substantial drops at degree 6, got {}",
+        rip_dense.drops_no_route.mean
+    );
+}
+
+#[test]
+fn observation_2_rip_never_loops_and_bgp_loops_most() {
+    let rip = point(ProtocolKind::Rip, MeshDegree::D3);
+    assert_eq!(
+        rip.ttl_expirations.mean, 0.0,
+        "RIP must have zero TTL expirations (it drops instead of looping)"
+    );
+    let bgp = point(ProtocolKind::Bgp, MeshDegree::D3);
+    let bgp3 = point(ProtocolKind::Bgp3, MeshDegree::D3);
+    assert!(
+        bgp.ttl_expirations.mean > bgp3.ttl_expirations.mean,
+        "BGP's 30 s MRAI must stretch loops beyond BGP-3's ({} vs {})",
+        bgp.ttl_expirations.mean,
+        bgp3.ttl_expirations.mean
+    );
+    // Dense meshes end looping entirely.
+    for protocol in ProtocolKind::PAPER {
+        let dense = point(protocol, MeshDegree::D8);
+        assert_eq!(
+            dense.ttl_expirations.mean, 0.0,
+            "{protocol}: no TTL expirations at degree 8"
+        );
+    }
+}
+
+#[test]
+fn observation_3_recovery_timescales_match_the_timers() {
+    // RIP's post-failure outage at degree 3 is on the periodic-update
+    // timescale (several seconds, bounded by ~30 s).
+    let rip = point(ProtocolKind::Rip, MeshDegree::D3);
+    let outage_s = rip.drops_no_route.mean / 20.0; // 20 pkt/s
+    assert!(
+        (1.0..=35.0).contains(&outage_s),
+        "RIP outage should be seconds-to-30s, got {outage_s:.1}s"
+    );
+    // DBF and BGP-3 lose far less.
+    let dbf = point(ProtocolKind::Dbf, MeshDegree::D3);
+    assert!(
+        dbf.drops_no_route.mean < rip.drops_no_route.mean / 2.0,
+        "DBF ({}) should drop far less than RIP ({})",
+        dbf.drops_no_route.mean,
+        rip.drops_no_route.mean
+    );
+}
+
+#[test]
+fn observation_4_fast_mrai_speeds_convergence_but_not_delivery_at_degree_6() {
+    let bgp = point(ProtocolKind::Bgp, MeshDegree::D6);
+    let bgp3 = point(ProtocolKind::Bgp3, MeshDegree::D6);
+    assert!(
+        bgp.routing_convergence_s.mean > bgp3.routing_convergence_s.mean + 5.0,
+        "BGP-3 must converge much faster ({} vs {})",
+        bgp3.routing_convergence_s.mean,
+        bgp.routing_convergence_s.mean
+    );
+    // ...while the packet-drop difference is negligible.
+    assert!(
+        (bgp.drops_no_route.mean - bgp3.drops_no_route.mean).abs() < 2.0,
+        "drop difference should be negligible at degree 6 ({} vs {})",
+        bgp.drops_no_route.mean,
+        bgp3.drops_no_route.mean
+    );
+}
+
+#[test]
+fn observation_5_convergence_era_packets_take_longer_paths() {
+    // Find a BGP-3 degree-4 run that delivered packets during convergence
+    // and compare their delay to the steady-state baseline.
+    for seed in 0..20u64 {
+        let cfg = ExperimentConfig::paper(ProtocolKind::Bgp3, MeshDegree::D4, 400 + seed);
+        let result = run(&cfg).expect("run succeeds");
+        let series = convergence::metrics::delay_series(&result.trace, result.t_fail, -10, 40);
+        let baseline: Vec<f64> = series[..10].iter().filter_map(|&(_, d)| d).collect();
+        let after: Vec<f64> = series[10..15].iter().filter_map(|&(_, d)| d).collect();
+        if baseline.is_empty() || after.is_empty() {
+            continue;
+        }
+        let base = baseline.iter().sum::<f64>() / baseline.len() as f64;
+        let conv = after.iter().copied().fold(0.0f64, f64::max);
+        if conv > base * 1.2 {
+            return; // found the paper's delay bump
+        }
+    }
+    panic!("no run showed elevated delay during convergence");
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let cfg = ExperimentConfig::paper(ProtocolKind::Bgp, MeshDegree::D5, 31415);
+    let a = summarize(&run(&cfg).expect("first run"));
+    let b = summarize(&run(&cfg).expect("second run"));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn packet_conservation_across_protocols() {
+    for protocol in ProtocolKind::ALL {
+        let cfg = ExperimentConfig::paper(protocol, MeshDegree::D4, 99);
+        let result = run(&cfg).expect("run succeeds");
+        let s = summarize(&result);
+        assert_eq!(
+            s.injected,
+            s.delivered + s.drops.total(),
+            "{protocol}: injected != delivered + dropped"
+        );
+    }
+}
