@@ -1,0 +1,91 @@
+//! Extension E9: routing convergence when links are *lossy* instead of
+//! merely cut.
+//!
+//! The paper's failure model is binary: a link is up or down. Real
+//! outages often start as degradation — a flapping optical or congested
+//! interface that drops a fraction of frames long before (or without
+//! ever) going down. This experiment repeats the paper's single-link
+//! failure while every link additionally drops a fixed fraction of all
+//! frames, and asks how each protocol's convergence machinery copes:
+//! RIP/DBF updates ride datagrams and simply vanish, while BGP's
+//! TCP-style sessions turn loss into retransmission delay.
+//!
+//! Runs execute through the hardened sweep harness: a seed whose random
+//! draw yields no usable scenario is retried with a derived reseed, and
+//! anything unsalvageable is reported, not panicked over.
+
+use bench::{point_seed, runs_from_args};
+use convergence::aggregate::{aggregate_point, RetryPolicy};
+use convergence::prelude::*;
+use convergence::report::{fmt_f64, Table};
+use topology::mesh::MeshDegree;
+
+fn main() {
+    let runs = runs_from_args();
+    println!("Extension E9 — convergence under lossy links, {runs} runs/point");
+    println!("(paper single-link failure at degree 4, plus uniform frame loss)\n");
+
+    let mut table = Table::new(
+        [
+            "loss %",
+            "protocol",
+            "delivery %",
+            "impaired",
+            "no-route",
+            "rtconv(s)",
+            "ctl-rexmit",
+            "failed runs",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    let degree = MeshDegree::D4;
+    for loss in [0.0, 0.05, 0.10, 0.20] {
+        for protocol in [ProtocolKind::Rip, ProtocolKind::Dbf, ProtocolKind::Bgp3] {
+            let mut cfg = ExperimentConfig::paper(protocol, degree, 0);
+            if loss > 0.0 {
+                cfg.link.impairment = Impairment::lossy(loss);
+            }
+            let outcome = run_sweep(&cfg, runs, point_seed(degree, 0), RetryPolicy::default());
+            for failure in &outcome.failed {
+                eprintln!(
+                    "  seed {} failed after {} attempts: {}",
+                    failure.seed, failure.attempts, failure.error
+                );
+            }
+            let retransmits = outcome
+                .completed
+                .iter()
+                .map(|(r, _)| r.stats.control_retransmits)
+                .sum::<u64>() as f64
+                / outcome.completed.len().max(1) as f64;
+            let point = aggregate_point(&outcome.summaries());
+            table.push_row(vec![
+                format!("{:.0}", loss * 100.0),
+                protocol.to_string(),
+                format!("{:.2}", 100.0 * point.delivery_ratio.mean),
+                fmt_f64(
+                    outcome
+                        .summaries()
+                        .iter()
+                        .map(|s| s.drops.impaired as f64)
+                        .sum::<f64>()
+                        / outcome.completed.len().max(1) as f64,
+                ),
+                fmt_f64(point.drops_no_route.mean),
+                fmt_f64(point.routing_convergence_s.mean),
+                fmt_f64(retransmits),
+                outcome.failed.len().to_string(),
+            ]);
+            eprintln!("  loss {:.0}% {protocol} done", loss * 100.0);
+        }
+    }
+    println!("{}", table.render());
+    println!("expected: delivery falls with per-hop loss for every protocol, but");
+    println!("convergence degrades unevenly — RIP/DBF lose updates outright and");
+    println!("lean on periodic refresh, while BGP-3 converges at nearly the clean");
+    println!("pace at the cost of control retransmissions.\n");
+    let path = bench::results_dir().join("ext_lossy.csv");
+    table.write_csv(&path).expect("write CSV");
+    println!("wrote {}", path.display());
+}

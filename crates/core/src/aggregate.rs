@@ -1,6 +1,8 @@
 //! Multi-run aggregation: the paper averages every number over 100
 //! randomized runs per (protocol, degree) point.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use serde::{Deserialize, Serialize};
 
 use crate::experiment::ExperimentConfig;
@@ -67,6 +69,133 @@ pub fn run_many(
             Ok((result, summary))
         })
         .collect()
+}
+
+/// Retry behaviour of [`run_sweep`] when a run's random draw produces an
+/// unusable scenario ([`RunError::is_retryable`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts per run slot, the first included. `1` disables
+    /// retries.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3 }
+    }
+}
+
+impl RetryPolicy {
+    /// The reseed used for attempt `attempt` (0-based) of the slot whose
+    /// first attempt used `seed`.
+    ///
+    /// Deterministic, collision-averse (golden-ratio stride in the upper
+    /// bits, far from the dense `base_seed..base_seed+runs` band), and
+    /// attempt 0 is the unmodified seed so retry-free sweeps match
+    /// [`run_many`] exactly.
+    #[must_use]
+    pub fn derive_seed(seed: u64, attempt: u32) -> u64 {
+        seed.wrapping_add(u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+}
+
+/// One run slot that produced no usable result even after retries.
+#[derive(Debug)]
+pub struct FailedRun {
+    /// The slot's base seed (before reseeding).
+    pub seed: u64,
+    /// Attempts consumed (== the policy's `max_attempts` unless the
+    /// error was not retryable).
+    pub attempts: u32,
+    /// The last error.
+    pub error: RunError,
+}
+
+/// Everything a hardened sweep produced.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Result and summary of every successful run, in slot order.
+    pub completed: Vec<(RunResult, RunSummary)>,
+    /// Slots that failed all attempts, in slot order.
+    pub failed: Vec<FailedRun>,
+    /// Total retry attempts consumed across the sweep (0 when every slot
+    /// succeeded first try).
+    pub retries: u64,
+}
+
+impl SweepOutcome {
+    /// Summaries of the successful runs.
+    #[must_use]
+    pub fn summaries(&self) -> Vec<RunSummary> {
+        self.completed.iter().map(|(_, s)| s.clone()).collect()
+    }
+}
+
+/// Executes `runs` seeded repetitions of `config` like [`run_many`], but
+/// hardened for sweeps over adversarial configurations: every run is
+/// isolated with [`catch_unwind`] (a panicking run becomes a
+/// [`RunError::Panicked`] entry instead of tearing down the sweep), and
+/// retryable scenario errors (no path, unsatisfiable failure selection)
+/// are retried with deterministically derived reseeds up to
+/// `retry.max_attempts` total attempts.
+///
+/// The sweep itself never fails: unsalvageable slots are reported in
+/// [`SweepOutcome::failed`] with their typed error and attempt count.
+#[must_use]
+pub fn run_sweep(
+    config: &ExperimentConfig,
+    runs: usize,
+    base_seed: u64,
+    retry: RetryPolicy,
+) -> SweepOutcome {
+    let max_attempts = retry.max_attempts.max(1);
+    let mut outcome = SweepOutcome {
+        completed: Vec::with_capacity(runs),
+        failed: Vec::new(),
+        retries: 0,
+    };
+    for i in 0..runs {
+        let slot_seed = base_seed + i as u64;
+        let mut attempt = 0;
+        loop {
+            let mut cfg = config.clone();
+            cfg.seed = RetryPolicy::derive_seed(slot_seed, attempt);
+            let attempt_result = catch_unwind(AssertUnwindSafe(|| run(&cfg)))
+                .unwrap_or_else(|payload| Err(RunError::Panicked(panic_message(&payload))));
+            match attempt_result {
+                Ok(result) => {
+                    let summary = summarize(&result);
+                    outcome.completed.push((result, summary));
+                    break;
+                }
+                Err(error) => {
+                    if error.is_retryable() && attempt + 1 < max_attempts {
+                        attempt += 1;
+                        outcome.retries += 1;
+                        continue;
+                    }
+                    outcome.failed.push(FailedRun {
+                        seed: slot_seed,
+                        attempts: attempt + 1,
+                        error,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    outcome
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// The aggregated scalars for one sweep point, in the units the paper

@@ -143,6 +143,31 @@ impl Default for WarmupPolicy {
     }
 }
 
+/// The per-run event-budget watchdog.
+///
+/// A pathological scenario (a protocol stuck in a zero-delay timer loop,
+/// a persistent forwarding loop fed by retransmissions) can generate
+/// events faster than simulated time advances, livelocking a sweep. The
+/// watchdog bounds the total number of engine events a single run may
+/// process; exceeding it aborts the run with a typed
+/// [`crate::runner::RunError::Watchdog`] instead of hanging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchdogPolicy {
+    /// Maximum engine events one run may process (lifetime total,
+    /// warm-up included).
+    pub max_events: u64,
+}
+
+impl Default for WatchdogPolicy {
+    fn default() -> Self {
+        // Two orders of magnitude above the busiest paper run (a degree-8
+        // BGP warm-up processes ~2M events); only livelock reaches this.
+        WatchdogPolicy {
+            max_events: 500_000_000,
+        }
+    }
+}
+
 /// A closure producing per-router protocol instances, used to run a
 /// protocol with a non-default configuration (ablations).
 #[derive(Clone)]
@@ -202,6 +227,8 @@ pub struct ExperimentConfig {
     pub failure: FailurePlan,
     /// Warm-up policy.
     pub warmup: WarmupPolicy,
+    /// Per-run event-budget watchdog.
+    pub watchdog: WatchdogPolicy,
     /// How long the run continues after traffic stops, letting routing
     /// convergence finish for the Figure-6 measurements.
     pub drain: SimDuration,
@@ -221,6 +248,7 @@ impl ExperimentConfig {
             traffic: TrafficConfig::default(),
             failure: FailurePlan::SingleLinkOnPath,
             warmup: WarmupPolicy::default(),
+            watchdog: WatchdogPolicy::default(),
             drain: SimDuration::from_secs(120),
             seed,
         }
@@ -255,6 +283,9 @@ impl ExperimentConfig {
         }
         if self.warmup.quiet >= self.warmup.max {
             return Err("warmup.quiet must be below warmup.max".into());
+        }
+        if self.watchdog.max_events == 0 {
+            return Err("watchdog.max_events must be positive".into());
         }
         let realized = self.topology.realize();
         if realized.graph.num_nodes() < 3 {

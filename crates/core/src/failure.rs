@@ -1,6 +1,10 @@
 //! Failure plans: what breaks, and how the broken element is chosen.
 
+use std::error::Error;
+use std::fmt;
+
 use netsim::ident::NodeId;
+use netsim::impairment::Impairment;
 use netsim::rng::SimRng;
 use netsim::time::SimDuration;
 use netsim::simulator::{ForwardingPath, Simulator};
@@ -36,6 +40,23 @@ pub enum FailurePlan {
         /// How long the link stays up between cycles.
         up: SimDuration,
     },
+    /// Robustness extension: an interior router on the live path crashes
+    /// (all its links fail at once) and reboots after `down` with *cold*
+    /// routing state — empty FIB, fresh protocol instance, no timers.
+    NodeCrashRestart {
+        /// How long the router stays down before rebooting.
+        down: SimDuration,
+    },
+    /// Robustness extension: one on-path link does not fail but turns
+    /// *lossy* — `impairment` applies for `duration`, then the link is
+    /// clean again. Routing never sees a link-down event; protocols must
+    /// ride out the loss.
+    LossyLinkOnPath {
+        /// The impairment applied during the lossy period.
+        impairment: Impairment,
+        /// How long the lossy period lasts.
+        duration: SimDuration,
+    },
 }
 
 /// One link state change relative to the failure instant.
@@ -49,6 +70,26 @@ pub struct FailureAction {
     pub up: bool,
 }
 
+/// One link impairment change relative to the failure instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImpairmentAction {
+    /// Offset from the failure instant.
+    pub offset: SimDuration,
+    /// The affected link.
+    pub edge: Edge,
+    /// The impairment to apply ([`Impairment::NONE`] ends a lossy period).
+    pub impairment: Impairment,
+}
+
+/// A router crash-with-reboot starting at the failure instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartAction {
+    /// The crashing router.
+    pub node: NodeId,
+    /// How long it stays down before rebooting with cold state.
+    pub down: SimDuration,
+}
+
 /// The concrete selection made for one run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FailureSelection {
@@ -56,7 +97,14 @@ pub struct FailureSelection {
     pub edges: Vec<Edge>,
     /// Every scheduled state change, in offset order.
     pub timeline: Vec<FailureAction>,
-    /// The failed router, for [`FailurePlan::NodeOnPath`].
+    /// Scheduled impairment changes ([`FailurePlan::LossyLinkOnPath`]).
+    pub impairments: Vec<ImpairmentAction>,
+    /// Crash-with-reboot of a router ([`FailurePlan::NodeCrashRestart`]).
+    /// The runner schedules the link failures/recoveries itself, so the
+    /// `timeline` stays empty for this plan.
+    pub restart: Option<RestartAction>,
+    /// The failed router, for [`FailurePlan::NodeOnPath`] and
+    /// [`FailurePlan::NodeCrashRestart`].
     pub node: Option<NodeId>,
 }
 
@@ -67,6 +115,8 @@ impl FailureSelection {
         FailureSelection {
             edges: Vec::new(),
             timeline: Vec::new(),
+            impairments: Vec::new(),
+            restart: None,
             node: None,
         }
     }
@@ -85,10 +135,84 @@ impl FailureSelection {
         FailureSelection {
             edges,
             timeline,
+            impairments: Vec::new(),
+            restart: None,
             node,
         }
     }
 }
+
+/// Why a failure plan could not be realized on a warmed-up network.
+///
+/// These are *scenario* problems, not bugs: an aggregate sweep over many
+/// seeds reports them per run (and may retry with a derived seed) instead
+/// of tearing down the whole sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectionError {
+    /// The live forwarding path between the flow endpoints was not
+    /// complete, so no on-path element could be chosen.
+    PathNotConverged {
+        /// Traffic source.
+        sender: NodeId,
+        /// Traffic sink.
+        receiver: NodeId,
+        /// What the FIB walk actually produced.
+        path: ForwardingPath,
+    },
+    /// Fewer links than requested could be failed without partitioning
+    /// the network.
+    NotEnoughLinks {
+        /// How many simultaneous link failures the plan asked for.
+        requested: usize,
+        /// How many could be selected.
+        selected: usize,
+    },
+    /// The live path is a single hop: there is no interior router to
+    /// crash.
+    NoInteriorRouter {
+        /// Length (in nodes) of the live path.
+        path_len: usize,
+    },
+    /// The plan's parameters are degenerate (zero links, zero cycles).
+    InvalidPlan(String),
+}
+
+impl fmt::Display for SelectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectionError::PathNotConverged {
+                sender,
+                receiver,
+                path,
+            } => {
+                let kind = match path {
+                    ForwardingPath::Complete(_) => "complete",
+                    ForwardingPath::Loop(_) => "looping",
+                    ForwardingPath::Broken(_) => "broken",
+                };
+                write!(
+                    f,
+                    "forwarding path {sender}->{receiver} is {kind} after {} hops",
+                    path.nodes().len().saturating_sub(1)
+                )
+            }
+            SelectionError::NotEnoughLinks {
+                requested,
+                selected,
+            } => write!(
+                f,
+                "only {selected} of {requested} links can fail without partitioning the network"
+            ),
+            SelectionError::NoInteriorRouter { path_len } => write!(
+                f,
+                "live path has {path_len} nodes, no interior router to fail"
+            ),
+            SelectionError::InvalidPlan(why) => write!(f, "invalid failure plan: {why}"),
+        }
+    }
+}
+
+impl Error for SelectionError {}
 
 /// Chooses the concrete failure for a run.
 ///
@@ -96,11 +220,11 @@ impl FailureSelection {
 /// `receiver` is read from the FIBs, exactly as the paper fails "one of
 /// the links along the shortest path between the sender and receiver".
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the forwarding path is not complete (the runner verifies
-/// steady state first) or if a plan cannot be satisfied on this topology.
-#[must_use]
+/// Returns a [`SelectionError`] when the plan cannot be realized — the
+/// path is not converged, the topology cannot afford the requested number
+/// of simultaneous failures, or the plan's parameters are degenerate.
 pub fn choose_failure(
     plan: &FailurePlan,
     sim: &Simulator,
@@ -108,24 +232,41 @@ pub fn choose_failure(
     sender: NodeId,
     receiver: NodeId,
     rng: &mut SimRng,
-) -> FailureSelection {
-    let path = || -> Vec<NodeId> {
+) -> Result<FailureSelection, SelectionError> {
+    let path = || -> Result<Vec<NodeId>, SelectionError> {
         match sim.forwarding_path(sender, receiver) {
-            ForwardingPath::Complete(p) => p,
-            other => panic!("run not warmed up: {other:?}"),
+            ForwardingPath::Complete(p) => Ok(p),
+            other => Err(SelectionError::PathNotConverged {
+                sender,
+                receiver,
+                path: other,
+            }),
         }
     };
+    let interior = |p: &[NodeId], rng: &mut SimRng| -> Result<NodeId, SelectionError> {
+        if p.len() < 3 {
+            return Err(SelectionError::NoInteriorRouter { path_len: p.len() });
+        }
+        Ok(p[1 + rng.gen_index(p.len() - 2)])
+    };
     match plan {
-        FailurePlan::None => FailureSelection::none(),
-        FailurePlan::SpecificLink(edge) => FailureSelection::fail_at_zero(vec![*edge], None),
+        FailurePlan::None => Ok(FailureSelection::none()),
+        FailurePlan::SpecificLink(edge) => Ok(FailureSelection::fail_at_zero(vec![*edge], None)),
         FailurePlan::SingleLinkOnPath => {
-            let p = path();
+            let p = path()?;
             let hop = rng.gen_index(p.len() - 1);
-            FailureSelection::fail_at_zero(vec![Edge::new(p[hop], p[hop + 1])], None)
+            Ok(FailureSelection::fail_at_zero(
+                vec![Edge::new(p[hop], p[hop + 1])],
+                None,
+            ))
         }
         FailurePlan::FlappingLink { cycles, down, up } => {
-            assert!(*cycles >= 1, "FlappingLink requires at least one cycle");
-            let p = path();
+            if *cycles == 0 {
+                return Err(SelectionError::InvalidPlan(
+                    "FlappingLink requires at least one cycle".into(),
+                ));
+            }
+            let p = path()?;
             let hop = rng.gen_index(p.len() - 1);
             let edge = Edge::new(p[hop], p[hop + 1]);
             let mut timeline = Vec::new();
@@ -144,15 +285,21 @@ pub fn choose_failure(
                 });
                 offset += *up;
             }
-            FailureSelection {
+            Ok(FailureSelection {
                 edges: vec![edge],
                 timeline,
+                impairments: Vec::new(),
+                restart: None,
                 node: None,
-            }
+            })
         }
         FailurePlan::MultipleLinks { count } => {
-            assert!(*count >= 1, "MultipleLinks requires count >= 1");
-            let p = path();
+            if *count == 0 {
+                return Err(SelectionError::InvalidPlan(
+                    "MultipleLinks requires count >= 1".into(),
+                ));
+            }
+            let p = path()?;
             let mut working: Graph = graph.clone();
             let mut chosen: Vec<Edge> = Vec::new();
             // First pick from the live path, then from anywhere, always
@@ -179,25 +326,76 @@ pub fn choose_failure(
                     chosen.push(edge);
                 }
             }
-            assert!(
-                chosen.len() == *count,
-                "could not select {count} non-partitioning links"
-            );
-            FailureSelection::fail_at_zero(chosen, None)
+            if chosen.len() < *count {
+                return Err(SelectionError::NotEnoughLinks {
+                    requested: *count,
+                    selected: chosen.len(),
+                });
+            }
+            Ok(FailureSelection::fail_at_zero(chosen, None))
         }
         FailurePlan::NodeOnPath => {
-            let p = path();
-            assert!(
-                p.len() >= 3,
-                "path {p:?} has no interior router to fail"
-            );
-            let victim = p[1 + rng.gen_index(p.len() - 2)];
+            let p = path()?;
+            let victim = interior(&p, rng)?;
             let edges: Vec<Edge> = graph
                 .neighbors(victim)
                 .iter()
                 .map(|&n| Edge::new(victim, n))
                 .collect();
-            FailureSelection::fail_at_zero(edges, Some(victim))
+            Ok(FailureSelection::fail_at_zero(edges, Some(victim)))
+        }
+        FailurePlan::NodeCrashRestart { down } => {
+            let p = path()?;
+            let victim = interior(&p, rng)?;
+            let edges: Vec<Edge> = graph
+                .neighbors(victim)
+                .iter()
+                .map(|&n| Edge::new(victim, n))
+                .collect();
+            Ok(FailureSelection {
+                edges,
+                // The simulator's crash-restart primitive fails and
+                // recovers the links itself; an explicit timeline would
+                // double-fail them.
+                timeline: Vec::new(),
+                impairments: Vec::new(),
+                restart: Some(RestartAction {
+                    node: victim,
+                    down: *down,
+                }),
+                node: Some(victim),
+            })
+        }
+        FailurePlan::LossyLinkOnPath {
+            impairment,
+            duration,
+        } => {
+            if impairment.is_noop() {
+                return Err(SelectionError::InvalidPlan(
+                    "LossyLinkOnPath requires a non-trivial impairment".into(),
+                ));
+            }
+            let p = path()?;
+            let hop = rng.gen_index(p.len() - 1);
+            let edge = Edge::new(p[hop], p[hop + 1]);
+            Ok(FailureSelection {
+                edges: vec![edge],
+                timeline: Vec::new(),
+                impairments: vec![
+                    ImpairmentAction {
+                        offset: SimDuration::ZERO,
+                        edge,
+                        impairment: *impairment,
+                    },
+                    ImpairmentAction {
+                        offset: *duration,
+                        edge,
+                        impairment: Impairment::NONE,
+                    },
+                ],
+                restart: None,
+                node: None,
+            })
         }
     }
 }
@@ -231,7 +429,59 @@ mod tests {
             n0,
             n1,
             &mut SimRng::seed_from(0),
-        );
+        )
+        .unwrap();
         assert_eq!(sel.edges, vec![edge]);
+    }
+
+    #[test]
+    fn unwarmed_path_is_a_typed_error() {
+        // Two disconnected components: no FIB entries exist, so on-path
+        // plans must report PathNotConverged instead of panicking.
+        let mut b = netsim::simulator::SimulatorBuilder::new();
+        let n0 = b.add_node();
+        let n1 = b.add_node();
+        b.add_link(n0, n1, netsim::link::LinkConfig::default()).unwrap();
+        let sim = b.build().unwrap();
+        let mut g = Graph::new(2);
+        g.add_edge(n0, n1);
+        let err = choose_failure(
+            &FailurePlan::SingleLinkOnPath,
+            &sim,
+            &g,
+            n0,
+            n1,
+            &mut SimRng::seed_from(0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SelectionError::PathNotConverged { .. }));
+        assert!(err.to_string().contains("broken"));
+    }
+
+    #[test]
+    fn degenerate_plans_are_invalid() {
+        let mut b = netsim::simulator::SimulatorBuilder::new();
+        let n0 = b.add_node();
+        let n1 = b.add_node();
+        b.add_link(n0, n1, netsim::link::LinkConfig::default()).unwrap();
+        let sim = b.build().unwrap();
+        let mut g = Graph::new(2);
+        g.add_edge(n0, n1);
+        let mut rng = SimRng::seed_from(0);
+        for plan in [
+            FailurePlan::MultipleLinks { count: 0 },
+            FailurePlan::FlappingLink {
+                cycles: 0,
+                down: SimDuration::from_secs(1),
+                up: SimDuration::from_secs(1),
+            },
+            FailurePlan::LossyLinkOnPath {
+                impairment: Impairment::NONE,
+                duration: SimDuration::from_secs(1),
+            },
+        ] {
+            let err = choose_failure(&plan, &sim, &g, n0, n1, &mut rng).unwrap_err();
+            assert!(matches!(err, SelectionError::InvalidPlan(_)), "{plan:?}");
+        }
     }
 }

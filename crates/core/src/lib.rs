@@ -33,11 +33,17 @@ pub mod transport;
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    pub use crate::aggregate::{aggregate_point, run_many, Aggregate, PointSummary};
-    pub use crate::experiment::{
-        ExperimentConfig, TopologySpec, TrafficConfig, TrafficMode, WarmupPolicy,
+    pub use crate::aggregate::{
+        aggregate_point, run_many, run_sweep, Aggregate, FailedRun, PointSummary, RetryPolicy,
+        SweepOutcome,
     };
-    pub use crate::failure::{FailurePlan, FailureSelection};
+    pub use crate::experiment::{
+        ExperimentConfig, TopologySpec, TrafficConfig, TrafficMode, WarmupPolicy, WatchdogPolicy,
+    };
+    pub use crate::failure::{
+        FailurePlan, FailureSelection, ImpairmentAction, RestartAction, SelectionError,
+    };
+    pub use netsim::impairment::Impairment;
     pub use crate::metrics::summary::{summarize, RunSummary};
     pub use crate::protocols::ProtocolKind;
     pub use crate::report::Table;

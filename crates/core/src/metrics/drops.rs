@@ -15,13 +15,16 @@ pub struct DropCounts {
     pub link_down: u64,
     /// Drop-tail queue overflow.
     pub queue_overflow: u64,
+    /// Random loss injected by a link impairment (fault-injection runs;
+    /// always zero in the paper-reproduction presets).
+    pub impaired: u64,
 }
 
 impl DropCounts {
     /// Total drops of all causes.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.no_route + self.ttl_expired + self.link_down + self.queue_overflow
+        self.no_route + self.ttl_expired + self.link_down + self.queue_overflow + self.impaired
     }
 }
 
@@ -46,6 +49,7 @@ pub fn count_drops(trace: &Trace) -> DropCounts {
                 DropReason::TtlExpired => counts.ttl_expired += 1,
                 DropReason::LinkDown => counts.link_down += 1,
                 DropReason::QueueOverflow => counts.queue_overflow += 1,
+                DropReason::Impaired => counts.impaired += 1,
             }
         }
     }
@@ -85,8 +89,9 @@ mod tests {
             drop_event(DropReason::TtlExpired, 3),
             drop_event(DropReason::LinkDown, 4),
             drop_event(DropReason::QueueOverflow, 5),
+            drop_event(DropReason::Impaired, 6),
             TraceEvent::PacketDelivered {
-                time: SimTime::from_millis(6),
+                time: SimTime::from_millis(7),
                 id: PacketId::new(99),
                 node: NodeId::new(1),
                 hops: 4,
@@ -98,7 +103,8 @@ mod tests {
         assert_eq!(counts.ttl_expired, 1);
         assert_eq!(counts.link_down, 1);
         assert_eq!(counts.queue_overflow, 1);
-        assert_eq!(counts.total(), 5);
+        assert_eq!(counts.impaired, 1);
+        assert_eq!(counts.total(), 6);
         assert_eq!(count_delivered(&trace), 1);
     }
 

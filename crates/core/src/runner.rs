@@ -4,7 +4,7 @@
 use std::error::Error;
 use std::fmt;
 
-use netsim::error::BuildError;
+use netsim::error::{BuildError, EventBudgetExceeded};
 use netsim::ident::NodeId;
 use netsim::rng::SimRng;
 use netsim::simulator::SimStats;
@@ -14,7 +14,7 @@ use topology::graph::Graph;
 use topology::instantiate::to_simulator_builder;
 
 use crate::experiment::{ExperimentConfig, TrafficMode};
-use crate::failure::{choose_failure, FailureSelection};
+use crate::failure::{choose_failure, FailureSelection, SelectionError};
 use crate::transport::{GoBackNSink, GoBackNSource, WindowFlowReport};
 
 /// One sender/receiver pair.
@@ -65,6 +65,26 @@ pub enum RunError {
     },
     /// The warmed-up FIBs did not yield a complete sender→receiver path.
     NoPath(Flow),
+    /// The failure plan could not be realized on this run's topology and
+    /// flow (e.g. more simultaneous link failures than the mesh affords).
+    Selection(SelectionError),
+    /// The event-budget watchdog aborted a livelocked run.
+    Watchdog {
+        /// Events processed when the watchdog fired.
+        events: u64,
+        /// Simulated time at which it fired.
+        at: SimTime,
+    },
+    /// The go-back-N source agent expected on `node` was missing or of
+    /// the wrong type when the run tried to collect its report.
+    MissingSourceAgent {
+        /// The sender node that should host the source.
+        node: NodeId,
+    },
+    /// The run panicked; the payload is the rendered panic message.
+    /// Produced only by sweep-level isolation
+    /// ([`crate::aggregate::run_sweep`]), never by [`run`] itself.
+    Panicked(String),
 }
 
 impl fmt::Display for RunError {
@@ -80,6 +100,15 @@ impl fmt::Display for RunError {
                 "no complete path from {} to {} after warm-up",
                 flow.sender, flow.receiver
             ),
+            RunError::Selection(e) => write!(f, "failure selection failed: {e}"),
+            RunError::Watchdog { events, at } => write!(
+                f,
+                "watchdog aborted run after {events} events at t={at}"
+            ),
+            RunError::MissingSourceAgent { node } => {
+                write!(f, "no go-back-N source agent on {node} after the run")
+            }
+            RunError::Panicked(msg) => write!(f, "run panicked: {msg}"),
         }
     }
 }
@@ -89,6 +118,32 @@ impl Error for RunError {}
 impl From<BuildError> for RunError {
     fn from(e: BuildError) -> Self {
         RunError::Build(e)
+    }
+}
+
+impl From<SelectionError> for RunError {
+    fn from(e: SelectionError) -> Self {
+        RunError::Selection(e)
+    }
+}
+
+impl From<EventBudgetExceeded> for RunError {
+    fn from(e: EventBudgetExceeded) -> Self {
+        RunError::Watchdog {
+            events: e.events,
+            at: e.at,
+        }
+    }
+}
+
+impl RunError {
+    /// Whether retrying the same scenario under a different seed could
+    /// plausibly succeed. Selection and path problems are properties of
+    /// the random flow/failure draw; validation and build problems are
+    /// properties of the configuration.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, RunError::NoPath(_) | RunError::Selection(_))
     }
 }
 
@@ -144,7 +199,7 @@ pub fn run(config: &ExperimentConfig) -> Result<RunResult, RunError> {
         if now > deadline {
             return Err(RunError::NotQuiescent { deadline });
         }
-        sim.run_until(now);
+        sim.run_until_budgeted(now, config.watchdog.max_events)?;
         let events = sim.trace().events();
         for event in &events[cursor..] {
             if matches!(event, TraceEvent::RouteChanged { .. }) {
@@ -193,7 +248,7 @@ pub fn run(config: &ExperimentConfig) -> Result<RunResult, RunError> {
         flows[0].sender,
         flows[0].receiver,
         &mut exp_rng,
-    );
+    )?;
 
     // ---- Traffic. ---------------------------------------------------------
     let t_fail = warmup_end + config.traffic.lead;
@@ -267,17 +322,30 @@ pub fn run(config: &ExperimentConfig) -> Result<RunResult, RunError> {
             sim.schedule_link_failure(at, link)?;
         }
     }
-    sim.run_until(t_end + config.drain);
+    for action in &failure.impairments {
+        let link = link_map[&action.edge];
+        sim.schedule_link_impairment(t_fail + action.offset, link, action.impairment)?;
+    }
+    if let Some(restart) = failure.restart {
+        let fresh = match &config.protocol_override {
+            Some(factory) => factory.build(),
+            None => config.protocol.build(),
+        };
+        sim.schedule_node_crash_restart(t_fail, restart.node, restart.down, fresh)?;
+    }
+    sim.run_until_budgeted(t_end + config.drain, config.watchdog.max_events)?;
 
     let stats = sim.stats();
     let mut flow_reports = Vec::new();
     if matches!(config.traffic.mode, TrafficMode::GoBackN(_)) {
         for flow in &flows {
-            let agent = sim.take_app(flow.sender).expect("source agent installed");
+            let agent = sim
+                .take_app(flow.sender)
+                .ok_or(RunError::MissingSourceAgent { node: flow.sender })?;
             let source = agent
                 .as_any()
                 .downcast_ref::<GoBackNSource>()
-                .expect("sender hosts a go-back-N source");
+                .ok_or(RunError::MissingSourceAgent { node: flow.sender })?;
             flow_reports.push(source.report());
         }
     }

@@ -22,8 +22,13 @@ use serde::{Deserialize, Serialize};
 pub struct GoBackNConfig {
     /// Maximum unacknowledged packets in flight.
     pub window: usize,
-    /// Fixed retransmission timeout.
+    /// Initial retransmission timeout.
     pub rto: SimDuration,
+    /// Ceiling for the exponentially backed-off timeout. Consecutive
+    /// timeouts without ACK progress double the effective RTO up to this
+    /// cap; any cumulative-ACK advance resets it to [`GoBackNConfig::rto`].
+    /// Set equal to `rto` to recover the original fixed-RTO transport.
+    pub rto_cap: SimDuration,
     /// Total data packets to transfer.
     pub total_packets: u64,
     /// Data packet payload size.
@@ -39,6 +44,7 @@ impl Default for GoBackNConfig {
         GoBackNConfig {
             window: 8,
             rto: SimDuration::from_secs(1),
+            rto_cap: SimDuration::from_secs(32),
             total_packets: 1000,
             packet_bytes: 1000,
             ack_bytes: 40,
@@ -115,6 +121,7 @@ pub struct GoBackNSource {
     flow: u16,
     base: u64,
     next_seq: u64,
+    current_rto: SimDuration,
     rto_timer: Option<TimerId>,
     progress: Vec<(SimTime, u64)>,
     retransmissions: u64,
@@ -131,6 +138,7 @@ impl GoBackNSource {
             flow,
             base: 0,
             next_seq: 0,
+            current_rto: config.rto,
             rto_timer: None,
             progress: Vec::new(),
             retransmissions: 0,
@@ -171,7 +179,7 @@ impl GoBackNSource {
         }
         if self.base < self.config.total_packets {
             self.rto_timer =
-                Some(ctx.set_timer(self.config.rto, TimerToken::compose(TIMER_RTO, 0)));
+                Some(ctx.set_timer(self.current_rto, TimerToken::compose(TIMER_RTO, 0)));
         }
     }
 }
@@ -192,6 +200,7 @@ impl AppAgent for GoBackNSource {
             return;
         }
         self.base = cumulative;
+        self.current_rto = self.config.rto;
         self.progress.push((ctx.now(), self.base));
         if self.base >= self.config.total_packets {
             self.completed_at = Some(ctx.now());
@@ -216,6 +225,9 @@ impl AppAgent for GoBackNSource {
             );
             self.retransmissions += 1;
         }
+        // A lost window means the path is likely down; back off so the
+        // retransmit storm does not feed any transient forwarding loop.
+        self.current_rto = (self.current_rto * 2).min(self.config.rto_cap);
         self.arm_rto(ctx);
     }
 
@@ -323,5 +335,20 @@ mod tests {
         let cfg = GoBackNConfig::default();
         assert_eq!(cfg.window, 8);
         assert_eq!(cfg.rto, SimDuration::from_secs(1));
+        assert_eq!(cfg.rto_cap, SimDuration::from_secs(32));
+    }
+
+    #[test]
+    fn backoff_doubles_to_cap_and_resets() {
+        let cfg = GoBackNConfig::default();
+        let mut rto = cfg.rto;
+        for _ in 0..10 {
+            rto = (rto * 2).min(cfg.rto_cap);
+        }
+        assert_eq!(rto, cfg.rto_cap, "backoff must saturate at the cap");
+        // An ACK advance resets to the initial timeout (mirrors
+        // `GoBackNSource::on_packet`).
+        rto = cfg.rto;
+        assert_eq!(rto, SimDuration::from_secs(1));
     }
 }

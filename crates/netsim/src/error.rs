@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::ident::{LinkId, NodeId};
+use crate::time::SimTime;
 
 /// Errors raised while assembling a simulated network.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +39,33 @@ impl fmt::Display for BuildError {
 }
 
 impl Error for BuildError {}
+
+/// The event-budget watchdog tripped: a budgeted run processed its maximum
+/// number of events before reaching the requested simulated time.
+///
+/// Raised by [`crate::simulator::Simulator::run_until_budgeted`] when a
+/// scenario livelocks (e.g. a protocol stuck in a zero-delay timer loop or
+/// a persistent forwarding loop kept alive by retransmissions) instead of
+/// letting the process spin forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventBudgetExceeded {
+    /// Total events the engine had processed when the watchdog fired.
+    pub events: u64,
+    /// Simulated time at which the budget ran out.
+    pub at: SimTime,
+}
+
+impl fmt::Display for EventBudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "event budget exhausted after {} events at t={}",
+            self.events, self.at
+        )
+    }
+}
+
+impl Error for EventBudgetExceeded {}
 
 #[cfg(test)]
 mod tests {

@@ -8,10 +8,23 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::ident::{LinkId, NodeId};
+use crate::impairment::Impairment;
 use crate::link::Frame;
 use crate::packet::Packet;
-use crate::protocol::TimerId;
+use crate::protocol::{RoutingProtocol, TimerId};
 use crate::time::SimTime;
+
+/// A fresh protocol instance carried by a [`EventKind::NodeRestart`] event.
+///
+/// Wrapped so the event enum stays `Debug` even though
+/// [`RoutingProtocol`] implementations need not be.
+pub(crate) struct FreshProtocol(pub(crate) Box<dyn RoutingProtocol>);
+
+impl std::fmt::Debug for FreshProtocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FreshProtocol({})", self.0.name())
+    }
+}
 
 /// An event to be processed by the simulation engine.
 #[derive(Debug)]
@@ -38,6 +51,13 @@ pub(crate) enum EventKind {
     LinkStateDetected { node: NodeId, link: LinkId, up: bool },
     /// A traffic source injects a data packet at its attachment node.
     InjectPacket { packet: Packet },
+    /// The impairment of both channels of `link` changes to `impairment`
+    /// (the onset or the end of a lossy period).
+    SetImpairment { link: LinkId, impairment: Impairment },
+    /// `node` reboots with cold routing state: its FIB is wiped, its
+    /// pending protocol timers die and `protocol` replaces the crashed
+    /// instance.
+    NodeRestart { node: NodeId, protocol: FreshProtocol },
 }
 
 #[derive(Debug)]

@@ -60,6 +60,7 @@ pub mod error;
 pub mod event;
 pub mod fib;
 pub mod ident;
+pub mod impairment;
 pub mod link;
 pub mod packet;
 pub mod protocol;
@@ -69,9 +70,10 @@ pub mod time;
 pub mod trace;
 
 pub use app::AppAgent;
-pub use error::BuildError;
+pub use error::{BuildError, EventBudgetExceeded};
 pub use fib::Fib;
 pub use ident::{ChannelId, LinkId, NodeId, PacketId};
+pub use impairment::Impairment;
 pub use link::LinkConfig;
 pub use packet::{DropReason, Packet, DEFAULT_TTL};
 pub use protocol::{Payload, RoutingProtocol, TimerId, TimerToken};

@@ -11,9 +11,10 @@ use std::collections::VecDeque;
 use serde::{Deserialize, Serialize};
 
 use crate::ident::NodeId;
+use crate::impairment::Impairment;
 use crate::packet::Packet;
 use crate::protocol::Payload;
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 
 /// Per-link physical parameters.
 ///
@@ -36,6 +37,9 @@ pub struct LinkConfig {
     /// Delay between a physical failure/repair and its detection by the two
     /// attached nodes.
     pub detection_delay: SimDuration,
+    /// Stochastic channel imperfections (loss, jitter, reordering). The
+    /// default is [`Impairment::NONE`]: a clean link, as in the paper.
+    pub impairment: Impairment,
 }
 
 impl Default for LinkConfig {
@@ -46,6 +50,7 @@ impl Default for LinkConfig {
             bandwidth_bps: 10_000_000,
             queue_capacity: 20,
             detection_delay: SimDuration::from_millis(50),
+            impairment: Impairment::NONE,
         }
     }
 }
@@ -123,6 +128,11 @@ pub(crate) struct Channel {
     pub(crate) transmitting: Option<Frame>,
     /// Frames waiting behind the transmitter.
     pub(crate) queue: VecDeque<Frame>,
+    /// Earliest time the next *reliable* frame may arrive. Impairment loss
+    /// turns into retransmission delay for reliable sessions, and this
+    /// high-water mark keeps the emulated TCP stream in order: a frame sent
+    /// after a retransmitted one cannot overtake it.
+    pub(crate) reliable_ready_at: SimTime,
 }
 
 /// Outcome of offering a frame to a channel's queue.
@@ -151,6 +161,7 @@ impl Channel {
             epoch: 0,
             transmitting: None,
             queue: VecDeque::new(),
+            reliable_ready_at: SimTime::ZERO,
         }
     }
 
@@ -197,6 +208,9 @@ impl Channel {
     /// frames lost on the wire).
     pub(crate) fn clear(&mut self) -> Vec<Frame> {
         self.epoch += 1;
+        // The failure resets any reliable session running over this
+        // channel, so its in-order backlog dies with it.
+        self.reliable_ready_at = SimTime::ZERO;
         let mut lost: Vec<Frame> = self.transmitting.take().into_iter().collect();
         lost.extend(self.queue.drain(..));
         lost

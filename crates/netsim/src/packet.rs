@@ -93,15 +93,19 @@ pub enum DropReason {
     LinkDown,
     /// The output queue was full (drop-tail).
     QueueOverflow,
+    /// The frame was lost to a stochastic link impairment
+    /// (see [`crate::impairment::Impairment`]).
+    Impaired,
 }
 
 impl DropReason {
     /// All drop reasons, in reporting order.
-    pub const ALL: [DropReason; 4] = [
+    pub const ALL: [DropReason; 5] = [
         DropReason::NoRoute,
         DropReason::TtlExpired,
         DropReason::LinkDown,
         DropReason::QueueOverflow,
+        DropReason::Impaired,
     ];
 }
 
@@ -112,6 +116,7 @@ impl fmt::Display for DropReason {
             DropReason::TtlExpired => "ttl-expired",
             DropReason::LinkDown => "link-down",
             DropReason::QueueOverflow => "queue-overflow",
+            DropReason::Impaired => "impaired",
         };
         f.write_str(name)
     }
@@ -154,7 +159,7 @@ mod tests {
         let names: Vec<String> = DropReason::ALL.iter().map(|r| r.to_string()).collect();
         assert_eq!(
             names,
-            ["no-route", "ttl-expired", "link-down", "queue-overflow"]
+            ["no-route", "ttl-expired", "link-down", "queue-overflow", "impaired"]
         );
     }
 }

@@ -4,10 +4,11 @@
 use std::collections::HashMap;
 
 use crate::app::AppAgent;
-use crate::error::BuildError;
-use crate::event::{EventKind, EventQueue};
+use crate::error::{BuildError, EventBudgetExceeded};
+use crate::event::{EventKind, EventQueue, FreshProtocol};
 use crate::fib::Fib;
 use crate::ident::{ChannelId, LinkId, NodeId, PacketId};
+use crate::impairment::{Impairment, PPM_SCALE};
 use crate::link::{Channel, ControlFrame, EnqueueOutcome, Frame, LinkConfig};
 use crate::packet::{DropReason, Packet, DEFAULT_TTL};
 use crate::protocol::{Payload, RoutingProtocol, TimerId, TimerToken};
@@ -70,6 +71,11 @@ pub struct SimStats {
     pub control_bytes_sent: u64,
     /// Control messages lost to link failure or queue overflow.
     pub control_messages_lost: u64,
+    /// Frames (data or datagram control) lost to stochastic impairment.
+    pub frames_impaired: u64,
+    /// Retransmissions of reliable control frames forced by impairment
+    /// loss (each shows up as extra delivery delay, never as a drop).
+    pub control_retransmits: u64,
 }
 
 /// Result of walking the FIBs from a source toward a destination.
@@ -259,6 +265,10 @@ impl SimulatorBuilder {
             next_timer: 0,
             next_packet: 0,
             rng: SimRng::seed_from(self.seed),
+            // A dedicated stream for impairment decisions, seeded
+            // independently of the main stream: enabling or disabling an
+            // impairment never perturbs protocol/traffic randomness.
+            impairment_rng: SimRng::seed_from(self.seed ^ 0x1a7e_5eed_0f00_cafe),
             trace: Trace::new(),
             trace_config: self.trace_config,
             stats: SimStats::default(),
@@ -279,6 +289,7 @@ pub struct Simulator {
     next_timer: u64,
     next_packet: u64,
     rng: SimRng,
+    impairment_rng: SimRng,
     trace: Trace,
     trace_config: TraceConfig,
     stats: SimStats,
@@ -531,6 +542,87 @@ impl Simulator {
         Ok(())
     }
 
+    /// Schedules a change of `link`'s impairment at `at` (both directions).
+    ///
+    /// Used to model lossy periods: schedule a non-trivial impairment at
+    /// the onset and [`Impairment::NONE`] at the end.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the link does not exist.
+    pub fn schedule_link_impairment(
+        &mut self,
+        at: SimTime,
+        link: LinkId,
+        impairment: Impairment,
+    ) -> Result<(), BuildError> {
+        if link.index() >= self.links.len() {
+            return Err(BuildError::NoSuchLink(link));
+        }
+        self.queue
+            .schedule(at, EventKind::SetImpairment { link, impairment });
+        Ok(())
+    }
+
+    /// Immediately changes `link`'s impairment (both directions).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the link does not exist.
+    pub fn set_link_impairment(
+        &mut self,
+        link: LinkId,
+        impairment: Impairment,
+    ) -> Result<(), BuildError> {
+        if link.index() >= self.links.len() {
+            return Err(BuildError::NoSuchLink(link));
+        }
+        self.apply_impairment(link, impairment);
+        Ok(())
+    }
+
+    /// Schedules a crash-with-restart of `node`: at `at` every attached
+    /// link physically fails (the node falls silent), and after `down` the
+    /// links recover while the node reboots with *cold* routing state — an
+    /// empty FIB, no pending protocol timers, and `fresh` replacing the
+    /// crashed protocol instance.
+    ///
+    /// Neighbors experience the crash exactly like a set of link failures:
+    /// detection lags by each link's `detection_delay`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the node does not exist.
+    pub fn schedule_node_crash_restart(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        down: SimDuration,
+        fresh: Box<dyn RoutingProtocol>,
+    ) -> Result<(), BuildError> {
+        if node.index() >= self.nodes.len() {
+            return Err(BuildError::NoSuchNode(node));
+        }
+        let links: Vec<LinkId> = self.nodes[node.index()]
+            .adjacency
+            .iter()
+            .map(|a| a.link)
+            .collect();
+        for link in links {
+            self.queue.schedule(at, EventKind::LinkFail { link });
+            self.queue
+                .schedule(at + down, EventKind::LinkRecover { link });
+        }
+        self.queue.schedule(
+            at + down,
+            EventKind::NodeRestart {
+                node,
+                protocol: FreshProtocol(fresh),
+            },
+        );
+        Ok(())
+    }
+
     /// Runs the event loop until the calendar is empty or the next event is
     /// after `until`, then advances the clock to `until` so follow-up
     /// interactions (installing agents, scheduling traffic) happen at the
@@ -546,6 +638,44 @@ impl Simulator {
             self.handle(kind);
         }
         self.queue.advance_to(until);
+    }
+
+    /// Like [`Simulator::run_until`], but guarded by an event-budget
+    /// watchdog: once the engine's *lifetime* event count
+    /// ([`SimStats::events_processed`]) reaches `max_events`, the loop
+    /// stops and reports how far it got. The simulation is left in a
+    /// consistent (if unfinished) state and can still be inspected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventBudgetExceeded`] if the budget ran out before
+    /// `until` was reached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Simulator::start`].
+    pub fn run_until_budgeted(
+        &mut self,
+        until: SimTime,
+        max_events: u64,
+    ) -> Result<(), EventBudgetExceeded> {
+        assert!(self.started, "call Simulator::start before run_until_budgeted");
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            if self.stats.events_processed >= max_events {
+                return Err(EventBudgetExceeded {
+                    events: self.stats.events_processed,
+                    at: self.now(),
+                });
+            }
+            let (_, kind) = self.queue.pop().expect("peeked event vanished");
+            self.stats.events_processed += 1;
+            self.handle(kind);
+        }
+        self.queue.advance_to(until);
+        Ok(())
     }
 
     /// Runs until the calendar drains completely; the clock stays at the
@@ -594,7 +724,52 @@ impl Simulator {
             EventKind::LinkStateDetected { node, link, up } => {
                 self.on_link_state_detected(node, link, up);
             }
+            EventKind::SetImpairment { link, impairment } => {
+                self.apply_impairment(link, impairment);
+            }
+            EventKind::NodeRestart { node, protocol } => {
+                self.on_node_restart(node, protocol.0);
+            }
         }
+    }
+
+    fn apply_impairment(&mut self, link: LinkId, impairment: Impairment) {
+        let info = self.links[link.index()];
+        self.links[link.index()].config.impairment = impairment;
+        self.channels[info.ab.index()].config.impairment = impairment;
+        self.channels[info.ba.index()].config.impairment = impairment;
+        self.trace.push(TraceEvent::ImpairmentChanged {
+            time: self.now(),
+            link,
+            loss_ppm: impairment.loss_ppm,
+        });
+    }
+
+    fn on_node_restart(&mut self, node: NodeId, fresh: Box<dyn RoutingProtocol>) {
+        let now = self.now();
+        // Cold boot: the FIB comes up empty, with every wiped entry
+        // recorded so convergence metrics see the forwarding-state loss.
+        for dest in 0..self.nodes.len() {
+            let dest = NodeId::new(dest as u32);
+            let old = self.nodes[node.index()].fib.remove(dest);
+            if old.is_some() {
+                self.trace.push(TraceEvent::RouteChanged {
+                    time: now,
+                    node,
+                    dest,
+                    old,
+                    new: None,
+                });
+            }
+        }
+        // The crashed instance's pending timers die with it. (Application
+        // agents survive a router reboot: transport endpoints live above
+        // the forwarding plane.)
+        self.timers
+            .retain(|_, (owner, _, target)| !(*owner == node && *target == TimerTarget::Protocol));
+        self.protocols[node.index()] = Some(fresh);
+        self.trace.push(TraceEvent::NodeRestarted { time: now, node });
+        self.dispatch(node, |proto, ctx| proto.on_start(ctx));
     }
 
     fn on_frame_serialized(&mut self, channel: ChannelId, epoch: u64) {
@@ -612,13 +787,85 @@ impl Simulator {
                 .schedule(now + d, EventKind::FrameSerialized { channel, epoch });
         }
         let ch = &self.channels[channel.index()];
-        if ch.up {
-            let arrive = now + ch.config.propagation_delay;
-            self.queue
-                .schedule(arrive, EventKind::FrameArrived { channel, frame });
-        } else {
+        if !ch.up {
             self.lose_frame(frame, self.channels[channel.index()].from);
+            return;
         }
+        let imp = ch.config.impairment;
+        let base_arrival = now + ch.config.propagation_delay;
+        if imp.is_noop() {
+            // The clean-link fast path draws nothing from the impairment
+            // RNG, keeping unimpaired runs bit-identical.
+            self.queue
+                .schedule(base_arrival, EventKind::FrameArrived { channel, frame });
+            return;
+        }
+        self.impaired_departure(channel, frame, base_arrival, imp);
+    }
+
+    /// Applies loss, jitter and reordering to a frame leaving the
+    /// transmitter of an impaired channel.
+    fn impaired_departure(
+        &mut self,
+        channel: ChannelId,
+        frame: Frame,
+        base_arrival: SimTime,
+        imp: Impairment,
+    ) {
+        /// Bound on consecutive losses of one reliable frame, so a
+        /// 100%-loss link cannot spin the retransmission loop forever.
+        const MAX_RETRANSMITS: u32 = 30;
+
+        let reliable = matches!(&frame, Frame::Control(c) if c.reliable);
+        let mut extra = SimDuration::ZERO;
+        if imp.loss_ppm > 0 {
+            if reliable {
+                // The reliable session never surrenders the frame to loss:
+                // each lost copy costs one retransmission delay, and the
+                // retransmitted copy faces the same Bernoulli trial.
+                let mut tries = 0;
+                while tries < MAX_RETRANSMITS && self.draw_ppm() < imp.loss_ppm {
+                    extra += imp.retransmit_delay;
+                    self.stats.control_retransmits += 1;
+                    tries += 1;
+                }
+            } else if self.draw_ppm() < imp.loss_ppm {
+                self.stats.frames_impaired += 1;
+                let from = self.channels[channel.index()].from;
+                match frame {
+                    Frame::Data(packet) => {
+                        self.record_drop(packet, from, DropReason::Impaired);
+                    }
+                    Frame::Control(_) => self.stats.control_messages_lost += 1,
+                }
+                return;
+            }
+        }
+        if imp.jitter > SimDuration::ZERO {
+            extra += self
+                .impairment_rng
+                .gen_duration(SimDuration::ZERO, imp.jitter);
+        }
+        if imp.reorder_ppm > 0 && self.draw_ppm() < imp.reorder_ppm {
+            extra += imp.reorder_extra;
+        }
+        let mut arrival = base_arrival + extra;
+        if reliable {
+            // Emulated TCP delivers in order: a frame sent after a
+            // retransmitted (or jittered) predecessor cannot overtake it.
+            let ch = &mut self.channels[channel.index()];
+            if arrival < ch.reliable_ready_at {
+                arrival = ch.reliable_ready_at;
+            }
+            ch.reliable_ready_at = arrival;
+        }
+        self.queue
+            .schedule(arrival, EventKind::FrameArrived { channel, frame });
+    }
+
+    /// One impairment Bernoulli draw in `[0, PPM_SCALE)`.
+    fn draw_ppm(&mut self) -> u32 {
+        self.impairment_rng.gen_range_u64(0, u64::from(PPM_SCALE)) as u32
     }
 
     fn on_frame_arrived(&mut self, channel: ChannelId, frame: Frame) {

@@ -121,6 +121,23 @@ pub enum TraceEvent {
         /// New perceived state.
         up: bool,
     },
+    /// The impairment applied to a link changed (e.g. a lossy period
+    /// started or ended).
+    ImpairmentChanged {
+        /// Event time.
+        time: SimTime,
+        /// The affected link.
+        link: LinkId,
+        /// The new loss probability in parts per million.
+        loss_ppm: u32,
+    },
+    /// A router rebooted with cold routing state.
+    NodeRestarted {
+        /// Event time.
+        time: SimTime,
+        /// The rebooted router.
+        node: NodeId,
+    },
 }
 
 impl TraceEvent {
@@ -136,7 +153,9 @@ impl TraceEvent {
             | TraceEvent::ControlSent { time, .. }
             | TraceEvent::LinkFailed { time, .. }
             | TraceEvent::LinkRecovered { time, .. }
-            | TraceEvent::LinkStateDetected { time, .. } => *time,
+            | TraceEvent::LinkStateDetected { time, .. }
+            | TraceEvent::ImpairmentChanged { time, .. }
+            | TraceEvent::NodeRestarted { time, .. } => *time,
         }
     }
 }
@@ -237,6 +256,8 @@ impl Trace {
                 TraceEvent::LinkFailed { .. } => census.link_failures += 1,
                 TraceEvent::LinkRecovered { .. } => census.link_recoveries += 1,
                 TraceEvent::LinkStateDetected { .. } => census.detections += 1,
+                TraceEvent::ImpairmentChanged { .. } => census.impairment_changes += 1,
+                TraceEvent::NodeRestarted { .. } => census.node_restarts += 1,
             }
         }
         census
@@ -264,6 +285,10 @@ pub struct TraceCensus {
     pub link_recoveries: u64,
     /// Per-endpoint failure/recovery detections.
     pub detections: u64,
+    /// Link impairment changes (lossy-period onsets and ends).
+    pub impairment_changes: u64,
+    /// Cold-state router reboots.
+    pub node_restarts: u64,
 }
 
 impl<'a> IntoIterator for &'a Trace {

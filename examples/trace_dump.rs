@@ -75,6 +75,10 @@ fn main() -> Result<(), RunError> {
                     if *up { "UP" } else { "DOWN" }
                 )
             }
+            TraceEvent::ImpairmentChanged { link, loss_ppm, .. } => {
+                format!("impair   link {link} loss {loss_ppm} ppm")
+            }
+            TraceEvent::NodeRestarted { node, .. } => format!("REBOOT   {node} (cold state)"),
         };
         println!("{rel:+10.6}s  {line}");
         shown += 1;

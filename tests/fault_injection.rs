@@ -1,0 +1,263 @@
+//! End-to-end tests of the fault-injection subsystem: impaired links,
+//! crash/restart failures, and the hardened sweep harness.
+
+use convergence::prelude::*;
+use netsim::time::SimDuration;
+use netsim::trace::TraceEvent;
+use topology::mesh::MeshDegree;
+
+/// A paper run with a uniform background impairment on every link.
+fn impaired_config(
+    protocol: ProtocolKind,
+    degree: MeshDegree,
+    seed: u64,
+    impairment: Impairment,
+) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper(protocol, degree, seed);
+    cfg.link.impairment = impairment;
+    cfg
+}
+
+#[test]
+fn rip_converges_despite_heavy_background_loss() {
+    // 20% of every frame (data and periodic updates alike) vanishes; RIP's
+    // periodic full-table updates must still converge routing and deliver
+    // most of the flow.
+    let cfg = impaired_config(
+        ProtocolKind::Rip,
+        MeshDegree::D4,
+        11,
+        Impairment::lossy(0.20),
+    );
+    let result = run(&cfg).expect("run succeeds under loss");
+    let s = summarize(&result);
+    assert!(result.stats.frames_impaired > 0, "loss must actually fire");
+    // Loss is per hop: a 6-12 hop path survives with 0.8^hops, i.e. only
+    // 7-26% of packets arrive. Delivery degrades gracefully; the real
+    // claim is that routing still converges underneath.
+    assert!(
+        s.delivery_ratio() > 0.05,
+        "some packets must still arrive, got {:.2}",
+        s.delivery_ratio()
+    );
+    assert!(
+        s.routing_convergence_s.is_finite(),
+        "routing must reconverge after the failure despite the loss"
+    );
+}
+
+#[test]
+fn dbf_converges_despite_background_loss() {
+    let cfg = impaired_config(
+        ProtocolKind::Dbf,
+        MeshDegree::D4,
+        12,
+        Impairment::lossy(0.10),
+    );
+    let result = run(&cfg).expect("run succeeds under loss");
+    let s = summarize(&result);
+    assert!(result.stats.frames_impaired > 0);
+    // 10% per-hop loss over 6-12 hops leaves 0.9^hops = 28-53% delivery.
+    assert!(s.delivery_ratio() > 0.2, "got {:.2}", s.delivery_ratio());
+    assert!(s.routing_convergence_s.is_finite());
+}
+
+#[test]
+fn bgp_reliable_control_is_retransmitted_not_lost() {
+    // BGP speaks over a reliable (TCP-like) transport: impairment loss
+    // turns into retransmission delay, never into a lost update.
+    let clean = ExperimentConfig::paper(ProtocolKind::Bgp3, MeshDegree::D4, 13);
+    let lossy = impaired_config(
+        ProtocolKind::Bgp3,
+        MeshDegree::D4,
+        13,
+        Impairment::lossy(0.15),
+    );
+    let clean_run = run(&clean).expect("clean run succeeds");
+    let lossy_run = run(&lossy).expect("lossy run succeeds");
+    assert_eq!(clean_run.stats.control_retransmits, 0);
+    assert!(
+        lossy_run.stats.control_retransmits > 0,
+        "15% loss must force reliable-frame retransmissions"
+    );
+    let s = summarize(&lossy_run);
+    assert!(
+        s.routing_convergence_s.is_finite(),
+        "BGP-3 must still converge; updates are delayed, not dropped"
+    );
+}
+
+#[test]
+fn impairment_drops_preserve_packet_conservation() {
+    for protocol in [ProtocolKind::Rip, ProtocolKind::Bgp3, ProtocolKind::Spf] {
+        let cfg = impaired_config(protocol, MeshDegree::D4, 14, Impairment::lossy(0.15));
+        let s = summarize(&run(&cfg).expect("run succeeds"));
+        assert!(s.drops.impaired > 0, "{protocol}: expected impairment drops");
+        assert_eq!(
+            s.injected,
+            s.delivered + s.drops.total(),
+            "{protocol}: injected != delivered + dropped (impaired drops leak)"
+        );
+    }
+}
+
+#[test]
+fn impaired_runs_are_deterministic() {
+    // Loss + jitter + reordering all draw from the seeded impairment
+    // stream: identical configs must produce byte-identical traces.
+    let impairment = Impairment::lossy(0.15)
+        .with_jitter(SimDuration::from_millis(5))
+        .with_reordering(0.05, SimDuration::from_millis(2));
+    let cfg = impaired_config(ProtocolKind::Dbf, MeshDegree::D4, 15, impairment);
+    let a = run(&cfg).expect("first run");
+    let b = run(&cfg).expect("second run");
+    assert!(
+        a.trace.iter().eq(b.trace.iter()),
+        "impaired traces must be identical event-for-event"
+    );
+    assert_eq!(summarize(&a), summarize(&b));
+}
+
+#[test]
+fn clean_runs_never_touch_the_impairment_stream() {
+    let cfg = ExperimentConfig::paper(ProtocolKind::Rip, MeshDegree::D4, 16);
+    let result = run(&cfg).expect("run succeeds");
+    assert_eq!(result.stats.frames_impaired, 0);
+    assert_eq!(result.stats.control_retransmits, 0);
+    assert_eq!(summarize(&result).drops.impaired, 0);
+}
+
+#[test]
+fn node_crash_restart_recovers_with_cold_state() {
+    let mut cfg = ExperimentConfig::paper(ProtocolKind::Dbf, MeshDegree::D4, 17);
+    cfg.failure = FailurePlan::NodeCrashRestart {
+        down: SimDuration::from_secs(10),
+    };
+    let result = run(&cfg).expect("run succeeds");
+    let census = result.trace.census();
+    assert_eq!(census.node_restarts, 1, "exactly one cold reboot");
+    let restart = result.failure.restart.expect("a restart was selected");
+    let degree = result.graph.neighbors(restart.node).len() as u64;
+    assert_eq!(
+        census.link_failures, degree,
+        "every adjacent link fails with the router"
+    );
+    assert_eq!(census.link_recoveries, degree, "and recovers with it");
+    // The reboot is visible in the trace at t_fail + down.
+    let reboot_at = result
+        .trace
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::NodeRestarted { time, node } if *node == restart.node => Some(*time),
+            _ => None,
+        })
+        .expect("NodeRestarted event present");
+    assert_eq!(reboot_at, result.t_fail + SimDuration::from_secs(10));
+    let s = summarize(&result);
+    assert!(
+        s.routing_convergence_s.is_finite(),
+        "routing must absorb the crash and the cold rejoin"
+    );
+    assert!(s.delivered > 0);
+}
+
+#[test]
+fn node_crash_restart_is_reproducible() {
+    let mut cfg = ExperimentConfig::paper(ProtocolKind::Rip, MeshDegree::D5, 18);
+    cfg.failure = FailurePlan::NodeCrashRestart {
+        down: SimDuration::from_secs(5),
+    };
+    let a = run(&cfg).expect("first run");
+    let b = run(&cfg).expect("second run");
+    assert!(a.trace.iter().eq(b.trace.iter()));
+    assert_eq!(a.failure.restart, b.failure.restart);
+    assert_eq!(summarize(&a), summarize(&b));
+}
+
+#[test]
+fn lossy_period_plan_impairs_then_heals_without_link_events() {
+    let mut cfg = ExperimentConfig::paper(ProtocolKind::Bgp3, MeshDegree::D4, 19);
+    cfg.failure = FailurePlan::LossyLinkOnPath {
+        impairment: Impairment::lossy(0.5),
+        duration: SimDuration::from_secs(15),
+    };
+    let result = run(&cfg).expect("run succeeds");
+    let census = result.trace.census();
+    assert_eq!(
+        census.impairment_changes, 2,
+        "one lossy onset and one healing"
+    );
+    assert_eq!(
+        census.link_failures, 0,
+        "the link degrades; it never goes down"
+    );
+    assert!(
+        result.stats.frames_impaired > 0,
+        "50% loss on the live path must bite"
+    );
+    assert!(summarize(&result).delivered > 0);
+}
+
+#[test]
+fn unsatisfiable_sweep_completes_with_typed_errors() {
+    // 50 simultaneous link failures cannot leave a 49-node mesh connected
+    // (the degree-4 7x7 mesh has 84 edges; 48 are needed for a spanning
+    // tree). Every seed must fail with a typed selection error -- and the
+    // sweep itself must finish instead of panicking.
+    let mut cfg = ExperimentConfig::paper(ProtocolKind::Dbf, MeshDegree::D4, 0);
+    cfg.failure = FailurePlan::MultipleLinks { count: 50 };
+    let retry = convergence::aggregate::RetryPolicy::default();
+    let outcome = run_sweep(&cfg, 4, 1, retry);
+    assert!(outcome.completed.is_empty());
+    assert_eq!(outcome.failed.len(), 4);
+    assert_eq!(
+        outcome.retries,
+        4 * u64::from(retry.max_attempts - 1),
+        "every slot exhausts its retries"
+    );
+    for failure in &outcome.failed {
+        assert_eq!(failure.attempts, retry.max_attempts);
+        assert!(
+            matches!(
+                failure.error,
+                RunError::Selection(SelectionError::NotEnoughLinks { requested: 50, .. })
+            ),
+            "expected NotEnoughLinks, got: {}",
+            failure.error
+        );
+    }
+}
+
+#[test]
+fn satisfiable_sweep_still_completes_every_slot() {
+    let cfg = ExperimentConfig::paper(ProtocolKind::Dbf, MeshDegree::D4, 0);
+    let outcome = run_sweep(&cfg, 3, 7000, convergence::aggregate::RetryPolicy::default());
+    assert_eq!(outcome.completed.len(), 3);
+    assert!(outcome.failed.is_empty());
+    assert_eq!(outcome.retries, 0);
+    // First-try sweeps use the same seeds as run_many, so summaries match.
+    let reference = run_many(&cfg, 3, 7000).expect("run_many succeeds");
+    assert_eq!(
+        outcome.summaries(),
+        reference.iter().map(|(_, s)| s.clone()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn watchdog_aborts_runaway_runs_with_typed_error() {
+    let mut cfg = ExperimentConfig::paper(ProtocolKind::Rip, MeshDegree::D4, 20);
+    // Far too small for even the warm-up: the watchdog must fire.
+    cfg.watchdog.max_events = 1_000;
+    match run(&cfg) {
+        Err(RunError::Watchdog { events, .. }) => {
+            assert!(events >= 1_000, "fired at {events} events")
+        }
+        other => panic!("expected RunError::Watchdog, got {other:?}"),
+    }
+    // A watchdog abort is a resource bound, not a bad draw: sweeps report
+    // it without burning retries.
+    let outcome = run_sweep(&cfg, 2, 20, convergence::aggregate::RetryPolicy::default());
+    assert_eq!(outcome.failed.len(), 2);
+    assert_eq!(outcome.retries, 0);
+    assert!(outcome.failed.iter().all(|f| f.attempts == 1));
+}

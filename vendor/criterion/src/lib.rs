@@ -1,0 +1,177 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides enough of the criterion 0.5 API for this workspace's benches to
+//! compile and produce useful (if statistically unsophisticated) numbers:
+//! each benchmark runs a short warm-up followed by a fixed number of timed
+//! iterations, and the mean per-iteration time is printed.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost; accepted and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver handed to registered benchmark functions.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &format!("{}/{}", self.name, name.into()),
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        iterations: sample_size as u64,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let mean = bencher.elapsed.as_secs_f64() / bencher.iterations.max(1) as f64;
+    println!("{label}: {:.3} ms/iter ({} iters)", mean * 1e3, bencher.iterations);
+}
+
+/// Times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with a fresh `setup()` input per iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Registers a group of benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

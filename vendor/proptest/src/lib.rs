@@ -1,0 +1,160 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API used by this workspace's
+//! property tests: the [`proptest!`] macro with `#![proptest_config(..)]`,
+//! integer-range / `prop::sample::select` / `prop::collection::vec` / tuple
+//! strategies, and the `prop_assert*` macros.
+//!
+//! Unlike real proptest there is no shrinking: each test runs its configured
+//! number of cases with deterministically seeded inputs (case `i` uses seed
+//! `i`), so a failure report's case index is enough to reproduce it.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy constructors, mirroring proptest's `prop` module.
+pub mod prop {
+    /// Sampling from explicit collections.
+    pub mod sample {
+        use crate::strategy::Select;
+
+        /// Uniformly selects one of `options` per case.
+        pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select requires at least one option");
+            Select { options }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+        use std::ops::Range;
+
+        /// Generates vectors whose length is drawn from `len` and whose
+        /// elements are drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "vec strategy needs a nonempty length range");
+            VecStrategy { element, len }
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item expands to a
+/// `#[test]` that evaluates `body` for every generated case, panicking on
+/// the first failed case with its index.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut runner_rng =
+                        $crate::test_runner::CaseRng::for_case(u64::from(case));
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(
+                            &$strategy,
+                            &mut runner_rng,
+                        );
+                    )+
+                    let outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {case}/{} failed: {}",
+                            config.cases, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: both sides equal {:?}",
+            left
+        );
+    }};
+}

@@ -1,0 +1,94 @@
+//! Value-generation strategies (subset of proptest's `Strategy`).
+
+use std::ops::Range;
+
+use crate::test_runner::CaseRng;
+
+/// Something that can generate values for test cases.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut CaseRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut CaseRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Strategy returned by `prop::sample::select`.
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    pub(crate) options: Vec<T>,
+}
+
+impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut CaseRng) -> T {
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}
+
+/// Strategy returned by `prop::collection::vec`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut CaseRng) -> Vec<S::Value> {
+        let span = (self.len.end - self.len.start) as u64;
+        let len = self.len.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn sample(&self, rng: &mut CaseRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn sample(&self, rng: &mut CaseRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_collections_compose() {
+        let mut rng = CaseRng::for_case(1);
+        let strat = crate::prop::collection::vec((1u64..10, 0usize..4), 2..6);
+        let v = strat.sample(&mut rng);
+        assert!((2..6).contains(&v.len()));
+        for (a, b) in v {
+            assert!((1..10).contains(&a));
+            assert!(b < 4);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and trace
+//! types but never performs actual serialization (no `serde_json` or
+//! similar is in the dependency tree — reports are hand-rolled CSV). Since
+//! the build environment has no crates.io access, this crate supplies the
+//! two marker traits plus no-op derive macros so those derives compile.
+//!
+//! Blanket implementations make every type trivially `Serialize` and
+//! `Deserialize`, which is sound here precisely because no code consumes
+//! the traits' (empty) contracts.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T> Deserialize<'de> for T {}

@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde stub.
+//!
+//! The stub `serde` crate implements both traits for all types via blanket
+//! impls, so the derives have nothing to emit — they only need to exist so
+//! `#[derive(Serialize, Deserialize)]` parses.
+
+use proc_macro::TokenStream;
+
+/// Emits nothing; the stub serde has a blanket `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Emits nothing; the stub serde has a blanket `Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
