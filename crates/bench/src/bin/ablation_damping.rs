@@ -9,7 +9,7 @@
 //! contradicting the paper's Observation 2 and thereby justifying the
 //! default.
 
-use bench::{runs_from_args, sweep_point};
+use bench::{sweep_args, SweepArgs, sweep_point};
 use convergence::experiment::ProtocolFactory;
 use convergence::protocols::ProtocolKind;
 use convergence::report::{fmt_f64, Table};
@@ -35,7 +35,7 @@ fn with_mode(kind: ProtocolKind, mode: DampingMode) -> ProtocolFactory {
 }
 
 fn main() {
-    let runs = runs_from_args();
+    let SweepArgs { runs, jobs } = sweep_args();
     println!("Ablation A4 — triggered-update damping semantics, {runs} runs/point\n");
 
     let mut table = Table::new(
@@ -49,7 +49,7 @@ fn main() {
                 ("first-immediate", DampingMode::FirstImmediate),
                 ("delayed-flush", DampingMode::DelayedFlush),
             ] {
-                let point = sweep_point(kind, degree, runs, &|cfg| {
+                let point = sweep_point(kind, degree, runs, jobs, &|cfg| {
                     cfg.protocol_override = Some(with_mode(kind, mode));
                 });
                 table.push_row(vec![

@@ -7,7 +7,7 @@
 //! RIP is already nearly loop-free via fast poison; hold-down's remaining
 //! effect should be almost purely additional packet loss.
 
-use bench::{runs_from_args, sweep_point};
+use bench::{sweep_args, SweepArgs, sweep_point};
 use convergence::experiment::ProtocolFactory;
 use convergence::protocols::ProtocolKind;
 use convergence::report::{fmt_f64, Table};
@@ -25,7 +25,7 @@ fn rip_with_holddown(secs: u64) -> ProtocolFactory {
 }
 
 fn main() {
-    let runs = runs_from_args();
+    let SweepArgs { runs, jobs } = sweep_args();
     println!("Ablation A5 — RIP hold-down timer, {runs} runs/point\n");
 
     let mut table = Table::new(
@@ -39,7 +39,7 @@ fn main() {
             ("15 s", Some(rip_with_holddown(15))),
             ("60 s", Some(rip_with_holddown(60))),
         ] {
-            let point = sweep_point(ProtocolKind::Rip, degree, runs, &|cfg| {
+            let point = sweep_point(ProtocolKind::Rip, degree, runs, jobs, &|cfg| {
                 cfg.protocol_override = factory.clone();
             });
             table.push_row(vec![

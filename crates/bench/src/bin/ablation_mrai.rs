@@ -8,7 +8,7 @@
 //! on a per (neighbor, destination) basis". This binary measures that
 //! difference.
 
-use bench::{runs_from_args, sweep_point};
+use bench::{sweep_args, SweepArgs, sweep_point};
 use bgp::{Bgp, BgpConfig, MraiScope};
 use convergence::experiment::ExperimentConfig;
 use convergence::protocols::ProtocolKind;
@@ -16,7 +16,7 @@ use convergence::report::{fmt_f64, Table};
 use topology::mesh::MeshDegree;
 
 fn main() {
-    let runs = runs_from_args();
+    let SweepArgs { runs, jobs } = sweep_args();
     println!("Ablation A1 — MRAI scope (BGP, 30 s mean), {runs} runs/point\n");
     // We cannot switch the scope through ProtocolKind, so runs are driven
     // through a custom protocol hook: ExperimentConfig carries the kind,
@@ -36,8 +36,8 @@ fn main() {
         .to_vec(),
     );
     for degree in [MeshDegree::D3, MeshDegree::D4, MeshDegree::D5, MeshDegree::D6] {
-        let vendor = sweep_point(ProtocolKind::Bgp, degree, runs, &|_| {});
-        let pair = sweep_point(ProtocolKind::Bgp, degree, runs, &|cfg: &mut ExperimentConfig| {
+        let vendor = sweep_point(ProtocolKind::Bgp, degree, runs, jobs, &|_| {});
+        let pair = sweep_point(ProtocolKind::Bgp, degree, runs, jobs, &|cfg: &mut ExperimentConfig| {
             cfg.protocol_override =
                 Some(convergence::experiment::ProtocolFactory::new(|| {
                     Box::new(Bgp::with_config(BgpConfig {

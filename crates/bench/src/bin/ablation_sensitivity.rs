@@ -5,14 +5,14 @@
 //! DBF at degree 4 and checks that the *ratios* (delivery ratio, loop
 //! counts) move little while absolute drop counts scale with the rate.
 
-use bench::{runs_from_args, sweep_point};
+use bench::{sweep_args, SweepArgs, sweep_point};
 use convergence::protocols::ProtocolKind;
 use convergence::report::{fmt_f64, Table};
 use netsim::time::SimDuration;
 use topology::mesh::MeshDegree;
 
 fn main() {
-    let runs = runs_from_args();
+    let SweepArgs { runs, jobs } = sweep_args();
     println!("Ablation A3 — parameter sensitivity (DBF, degree 4), {runs} runs/point\n");
 
     let mut table = Table::new(
@@ -32,12 +32,12 @@ fn main() {
 
     add(
         "baseline (50ms detect, 20pps, q20)",
-        sweep_point(ProtocolKind::Dbf, MeshDegree::D4, runs, &|_| {}),
+        sweep_point(ProtocolKind::Dbf, MeshDegree::D4, runs, jobs, &|_| {}),
     );
     for (label, detect_ms) in [("detect 5ms", 5u64), ("detect 500ms", 500)] {
         add(
             label,
-            sweep_point(ProtocolKind::Dbf, MeshDegree::D4, runs, &|cfg| {
+            sweep_point(ProtocolKind::Dbf, MeshDegree::D4, runs, jobs, &|cfg| {
                 cfg.link.detection_delay = SimDuration::from_millis(detect_ms);
             }),
         );
@@ -45,7 +45,7 @@ fn main() {
     for (label, rate) in [("rate 10pps", 10u64), ("rate 100pps", 100)] {
         add(
             label,
-            sweep_point(ProtocolKind::Dbf, MeshDegree::D4, runs, &|cfg| {
+            sweep_point(ProtocolKind::Dbf, MeshDegree::D4, runs, jobs, &|cfg| {
                 cfg.traffic.rate_pps = rate;
             }),
         );
@@ -53,7 +53,7 @@ fn main() {
     for (label, cap) in [("queue 5", 5usize), ("queue 100", 100)] {
         add(
             label,
-            sweep_point(ProtocolKind::Dbf, MeshDegree::D4, runs, &|cfg| {
+            sweep_point(ProtocolKind::Dbf, MeshDegree::D4, runs, jobs, &|cfg| {
                 cfg.link.queue_capacity = cap;
             }),
         );
@@ -61,7 +61,7 @@ fn main() {
     for (label, delay_ms) in [("prop 0.1ms", 1u64), ("prop 10ms", 100)] {
         add(
             label,
-            sweep_point(ProtocolKind::Dbf, MeshDegree::D4, runs, &|cfg| {
+            sweep_point(ProtocolKind::Dbf, MeshDegree::D4, runs, jobs, &|cfg| {
                 cfg.link.propagation_delay = SimDuration::from_micros(delay_ms * 100);
             }),
         );

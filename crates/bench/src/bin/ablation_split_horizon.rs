@@ -4,7 +4,7 @@
 //! Runs DBF with poisoned reverse (default), simple split horizon, and no
 //! split horizon at the loop-prone sparse degrees.
 
-use bench::{runs_from_args, sweep_point};
+use bench::{sweep_args, SweepArgs, sweep_point};
 use convergence::experiment::ProtocolFactory;
 use convergence::protocols::ProtocolKind;
 use convergence::report::{fmt_f64, Table};
@@ -22,7 +22,7 @@ fn dbf_with(mode: SplitHorizon) -> ProtocolFactory {
 }
 
 fn main() {
-    let runs = runs_from_args();
+    let SweepArgs { runs, jobs } = sweep_args();
     println!("Ablation A2 — split-horizon modes (DBF), {runs} runs/point\n");
 
     let modes = [
@@ -37,7 +37,7 @@ fn main() {
     );
     for degree in [MeshDegree::D3, MeshDegree::D4, MeshDegree::D5] {
         for (label, mode) in modes {
-            let point = sweep_point(ProtocolKind::Dbf, degree, runs, &|cfg| {
+            let point = sweep_point(ProtocolKind::Dbf, degree, runs, jobs, &|cfg| {
                 cfg.protocol_override = Some(dbf_with(mode));
             });
             table.push_row(vec![

@@ -8,13 +8,13 @@
 //! that claim: DUAL (zero loops by construction, diffusion freeze) against
 //! DBF (instant switch-over, occasional loops) and BGP-3.
 
-use bench::{runs_from_args, sweep_point};
+use bench::{sweep_args, SweepArgs, sweep_point};
 use convergence::protocols::ProtocolKind;
 use convergence::report::{fmt_f64, Table};
 use topology::mesh::MeshDegree;
 
 fn main() {
-    let runs = runs_from_args();
+    let SweepArgs { runs, jobs } = sweep_args();
     println!("Extension E6 — DUAL vs the distance-vector family, {runs} runs/point\n");
 
     let protocols = [ProtocolKind::Dual, ProtocolKind::Dbf, ProtocolKind::Bgp3];
@@ -25,7 +25,7 @@ fn main() {
     );
     for degree in MeshDegree::ALL {
         for protocol in protocols {
-            let point = sweep_point(protocol, degree, runs, &|_| {});
+            let point = sweep_point(protocol, degree, runs, jobs, &|_| {});
             table.push_row(vec![
                 degree.to_string(),
                 protocol.label().to_string(),

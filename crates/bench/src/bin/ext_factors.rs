@@ -9,13 +9,13 @@
 //! delivered packets (valid-but-suboptimal alternates show up as stretch
 //! just above 1).
 
-use bench::{runs_from_args, sweep_point};
+use bench::{sweep_args, SweepArgs, sweep_point};
 use convergence::protocols::ProtocolKind;
 use convergence::report::{fmt_f64, Table};
 use topology::mesh::MeshDegree;
 
 fn main() {
-    let runs = runs_from_args();
+    let SweepArgs { runs, jobs } = sweep_args();
     println!("Extension E7 — §4 factors: switch-over windows and path stretch, {runs} runs/point\n");
 
     let mut table = Table::new(
@@ -25,7 +25,7 @@ fn main() {
     );
     for degree in [MeshDegree::D3, MeshDegree::D4, MeshDegree::D6] {
         for protocol in ProtocolKind::PAPER {
-            let point = sweep_point(protocol, degree, runs, &|_| {});
+            let point = sweep_point(protocol, degree, runs, jobs, &|_| {});
             table.push_row(vec![
                 degree.to_string(),
                 protocol.label().to_string(),

@@ -6,7 +6,7 @@
 //! network has physically stabilized. This experiment flaps one on-path
 //! link several times and compares BGP-3 with damping off vs on.
 
-use bench::{point_seed, runs_from_args};
+use bench::{point_seed, sweep_args, SweepArgs};
 use bgp::{Bgp, BgpConfig, FlapConfig};
 use convergence::experiment::ProtocolFactory;
 use convergence::failure::FailurePlan;
@@ -25,7 +25,7 @@ fn bgp3_with_damping() -> ProtocolFactory {
 }
 
 fn main() {
-    let runs = runs_from_args();
+    let SweepArgs { runs, jobs } = sweep_args();
     println!("Extension E4 — route-flap damping vs a flapping link, {runs} runs/point");
     println!("(BGP-3; 3 flap cycles of 2 s down / 3 s up, then stable)\n");
 
@@ -44,15 +44,14 @@ fn main() {
             ("off", None),
             ("rfc2439 (10s half-life)", Some(bgp3_with_damping())),
         ] {
-            let mut summaries = Vec::new();
-            for i in 0..runs {
+            let summaries = par_map_indexed(runs, jobs, |i| {
                 let mut cfg =
                     ExperimentConfig::paper(ProtocolKind::Bgp3, degree, point_seed(degree, i));
                 cfg.failure = flapping.clone();
                 cfg.traffic.tail = SimDuration::from_secs(60);
                 cfg.protocol_override = factory.clone();
-                summaries.push(summarize(&run(&cfg).expect("run succeeds")));
-            }
+                summarize_streaming(&run(&cfg).expect("run succeeds"))
+            });
             let point = convergence::aggregate::aggregate_point(&summaries);
             table.push_row(vec![
                 degree.to_string(),

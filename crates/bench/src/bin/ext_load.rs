@@ -9,13 +9,14 @@
 //! updates can be lost) and a reliably-signaled one (BGP-3, immune to
 //! queue drops by its TCP-like session).
 
-use bench::{point_seed, runs_from_args};
+use bench::{point_seed, sweep_args, SweepArgs};
 use convergence::prelude::*;
 use convergence::report::{fmt_f64, Table};
 use topology::mesh::MeshDegree;
 
 fn main() {
-    let runs = runs_from_args().min(30);
+    let SweepArgs { runs, jobs } = sweep_args();
+    let runs = runs.min(30);
     println!("Extension E8 — convergence under load (degree 4), {runs} runs/point");
     println!("(10 Mb/s links carry ~1250 x 1000B pkt/s; 5 flows share the mesh)\n");
 
@@ -34,9 +35,7 @@ fn main() {
     );
     for rate in [20u64, 200, 400] {
         for protocol in [ProtocolKind::Dbf, ProtocolKind::Bgp3] {
-            let mut summaries = Vec::new();
-            let mut ctrl_lost = 0u64;
-            for i in 0..runs {
+            let per_run = par_map_indexed(runs, jobs, |i| {
                 let mut cfg = ExperimentConfig::paper(
                     protocol,
                     MeshDegree::D4,
@@ -45,9 +44,10 @@ fn main() {
                 cfg.traffic.rate_pps = rate;
                 cfg.traffic.flows = 5;
                 let result = run(&cfg).expect("run succeeds");
-                ctrl_lost += result.stats.control_messages_lost;
-                summaries.push(summarize(&result));
-            }
+                (summarize_streaming(&result), result.stats.control_messages_lost)
+            });
+            let ctrl_lost: u64 = per_run.iter().map(|(_, lost)| lost).sum();
+            let summaries: Vec<_> = per_run.into_iter().map(|(s, _)| s).collect();
             let point = convergence::aggregate::aggregate_point(&summaries);
             let queue_drops: f64 = summaries
                 .iter()

@@ -14,14 +14,14 @@
 //! draw yields no usable scenario is retried with a derived reseed, and
 //! anything unsalvageable is reported, not panicked over.
 
-use bench::{point_seed, runs_from_args};
-use convergence::aggregate::{aggregate_point, RetryPolicy};
+use bench::{point_seed, sweep_args, SweepArgs};
+use convergence::aggregate::{aggregate_point, RetryPolicy, SweepMode, SweepOptions};
 use convergence::prelude::*;
 use convergence::report::{fmt_f64, Table};
 use topology::mesh::MeshDegree;
 
 fn main() {
-    let runs = runs_from_args();
+    let SweepArgs { runs, jobs } = sweep_args();
     println!("Extension E9 — convergence under lossy links, {runs} runs/point");
     println!("(paper single-link failure at degree 4, plus uniform frame loss)\n");
 
@@ -46,7 +46,12 @@ fn main() {
             if loss > 0.0 {
                 cfg.link.impairment = Impairment::lossy(loss);
             }
-            let outcome = run_sweep(&cfg, runs, point_seed(degree, 0), RetryPolicy::default());
+            let options = SweepOptions {
+                jobs,
+                retry: RetryPolicy::default(),
+                mode: SweepMode::Trace,
+            };
+            let outcome = run_sweep_with(&cfg, runs, point_seed(degree, 0), options);
             for failure in &outcome.failed {
                 eprintln!(
                     "  seed {} failed after {} attempts: {}",
@@ -56,7 +61,8 @@ fn main() {
             let retransmits = outcome
                 .completed
                 .iter()
-                .map(|(r, _)| r.stats.control_retransmits)
+                .filter_map(|c| c.result.as_ref())
+                .map(|r| r.stats.control_retransmits)
                 .sum::<u64>() as f64
                 / outcome.completed.len().max(1) as f64;
             let point = aggregate_point(&outcome.summaries());

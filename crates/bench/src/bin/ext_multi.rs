@@ -1,16 +1,16 @@
 //! Extension E2 (paper §6 future work): multiple sender/receiver pairs,
 //! multiple simultaneous link failures, and whole-router failures.
 
-use bench::{runs_from_args, sweep_point};
+use bench::{sweep_args, SweepArgs, sweep_point};
 use convergence::failure::FailurePlan;
 use convergence::protocols::ProtocolKind;
 use convergence::report::{fmt_f64, Table};
 use topology::mesh::MeshDegree;
 
-type Customizer = Box<dyn Fn(&mut convergence::experiment::ExperimentConfig)>;
+type Customizer = Box<dyn Fn(&mut convergence::experiment::ExperimentConfig) + Sync>;
 
 fn main() {
-    let runs = runs_from_args();
+    let SweepArgs { runs, jobs } = sweep_args();
     println!("Extension E2 — multiple flows / failures, {runs} runs/point\n");
 
     let protocols = [ProtocolKind::Dbf, ProtocolKind::Bgp3];
@@ -43,7 +43,7 @@ fn main() {
                 ),
             ];
             for (label, customize) in &scenarios {
-                let point = sweep_point(protocol, degree, runs, customize.as_ref());
+                let point = sweep_point(protocol, degree, runs, jobs, customize.as_ref());
                 table.push_row(vec![
                     (*label).to_string(),
                     degree.to_string(),

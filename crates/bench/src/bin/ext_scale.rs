@@ -11,14 +11,15 @@
 //! legitimately unreachable. With both diagonals the 15×15 diameter is
 //! 14 hops.
 
-use bench::{runs_from_args, BASE_SEED};
+use bench::{sweep_args, SweepArgs, BASE_SEED};
 use convergence::experiment::TopologySpec;
 use convergence::prelude::*;
 use convergence::report::{fmt_f64, Table};
 use topology::mesh::MeshDegree;
 
 fn main() {
-    let runs = runs_from_args().min(30);
+    let SweepArgs { runs, jobs } = sweep_args();
+    let runs = runs.min(30);
     println!("Extension E5 — mesh size scaling (degree 8), {runs} runs/point\n");
 
     let mut table = Table::new(
@@ -28,8 +29,7 @@ fn main() {
     );
     for size in [7usize, 10, 13, 15] {
         for protocol in [ProtocolKind::Rip, ProtocolKind::Dbf, ProtocolKind::Bgp3] {
-            let mut summaries = Vec::new();
-            for i in 0..runs {
+            let summaries = par_map_indexed(runs, jobs, |i| {
                 let mut cfg = ExperimentConfig::paper(
                     protocol,
                     MeshDegree::D8,
@@ -40,8 +40,8 @@ fn main() {
                     cols: size,
                     degree: MeshDegree::D8,
                 };
-                summaries.push(summarize(&run(&cfg).expect("run succeeds")));
-            }
+                summarize_streaming(&run(&cfg).expect("run succeeds"))
+            });
             let point = convergence::aggregate::aggregate_point(&summaries);
             table.push_row(vec![
                 format!("{size}x{size}"),

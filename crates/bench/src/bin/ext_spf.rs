@@ -6,13 +6,13 @@
 //! distance-vector exploration — the hypothesis the paper's future-work
 //! section wants tested.
 
-use bench::{runs_from_args, sweep_point};
+use bench::{sweep_args, SweepArgs, sweep_point};
 use convergence::protocols::ProtocolKind;
 use convergence::report::{fmt_f64, Table};
 use topology::mesh::MeshDegree;
 
 fn main() {
-    let runs = runs_from_args();
+    let SweepArgs { runs, jobs } = sweep_args();
     println!("Extension E1 — SPF and DUAL vs the paper's family, {runs} runs/point\n");
 
     let mut table = Table::new(
@@ -23,7 +23,7 @@ fn main() {
     for degree in [MeshDegree::D3, MeshDegree::D4, MeshDegree::D6] {
         let points: Vec<_> = ProtocolKind::ALL
             .iter()
-            .map(|&p| sweep_point(p, degree, runs, &|_| {}))
+            .map(|&p| sweep_point(p, degree, runs, jobs, &|_| {}))
             .collect();
         let mut row = |metric: &str, f: &dyn Fn(&convergence::aggregate::PointSummary) -> f64| {
             table.push_row(

@@ -6,14 +6,15 @@
 //! reference \[25\]) crosses the mesh while one on-path link fails. We
 //! measure the goodput stall and retransmission cost per protocol.
 
-use bench::{point_seed, runs_from_args};
+use bench::{point_seed, sweep_args, SweepArgs};
 use convergence::prelude::*;
 use convergence::report::{fmt_f64, Table};
 use netsim::time::SimDuration;
 use topology::mesh::MeshDegree;
 
 fn main() {
-    let runs = runs_from_args().min(50);
+    let SweepArgs { runs, jobs } = sweep_args();
+    let runs = runs.min(50);
     println!("Extension E3 — go-back-N transfer across a failure, {runs} runs/point\n");
 
     let mut table = Table::new(
@@ -29,10 +30,7 @@ fn main() {
     );
     for degree in [MeshDegree::D3, MeshDegree::D4, MeshDegree::D6] {
         for protocol in ProtocolKind::PAPER {
-            let mut stalls = Vec::new();
-            let mut retx = Vec::new();
-            let mut completion = Vec::new();
-            for i in 0..runs {
+            let per_run = par_map_indexed(runs, jobs, |i| {
                 let mut cfg = ExperimentConfig::paper(protocol, degree, point_seed(degree, i));
                 cfg.traffic.mode = TrafficMode::GoBackN(GoBackNConfig {
                     total_packets: 20_000,
@@ -51,12 +49,14 @@ fn main() {
                         stall = stall.max(w[1].0.saturating_since(w[0].0).as_secs_f64());
                     }
                 }
-                stalls.push(stall);
-                retx.push(report.retransmissions as f64);
-                if let Some(done) = report.completed_at {
-                    completion.push(done.saturating_since(result.t_fail).as_secs_f64());
-                }
-            }
+                let done = report
+                    .completed_at
+                    .map(|done| done.saturating_since(result.t_fail).as_secs_f64());
+                (stall, report.retransmissions as f64, done)
+            });
+            let stalls: Vec<f64> = per_run.iter().map(|&(s, _, _)| s).collect();
+            let retx: Vec<f64> = per_run.iter().map(|&(_, r, _)| r).collect();
+            let completion: Vec<f64> = per_run.iter().filter_map(|&(_, _, c)| c).collect();
             let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
             table.push_row(vec![
                 degree.to_string(),

@@ -4,13 +4,13 @@
 //! Paper shape to reproduce: drops fall as the degree rises; at degree ≥ 6
 //! DBF/BGP/BGP-3 drop virtually nothing while RIP remains clearly worst.
 
-use bench::{runs_from_args, sweep_point};
+use bench::{sweep_args, SweepArgs, sweep_point};
 use convergence::protocols::ProtocolKind;
 use convergence::report::{fmt_f64, Table};
 use topology::mesh::MeshDegree;
 
 fn main() {
-    let runs = runs_from_args();
+    let SweepArgs { runs, jobs } = sweep_args();
     println!("Figure 3 — packet drops (no route) vs node degree, {runs} runs/point\n");
 
     let mut table = Table::new(
@@ -21,7 +21,7 @@ fn main() {
     for degree in MeshDegree::ALL {
         let mut row = vec![degree.to_string()];
         for protocol in ProtocolKind::PAPER {
-            let point = sweep_point(protocol, degree, runs, &|_| {});
+            let point = sweep_point(protocol, degree, runs, jobs, &|_| {});
             row.push(fmt_f64(point.drops_no_route.mean));
         }
         table.push_row(row);

@@ -5,13 +5,13 @@
 //! BGP has the most, roughly the MRAI ratio (~10×) above BGP-3; loops
 //! disappear in densely connected meshes.
 
-use bench::{runs_from_args, sweep_point};
+use bench::{sweep_args, SweepArgs, sweep_point};
 use convergence::protocols::ProtocolKind;
 use convergence::report::{fmt_f64, Table};
 use topology::mesh::MeshDegree;
 
 fn main() {
-    let runs = runs_from_args();
+    let SweepArgs { runs, jobs } = sweep_args();
     println!("Figure 4 — TTL expirations during convergence, {runs} runs/point\n");
 
     let mut ttl = Table::new(
@@ -28,7 +28,7 @@ fn main() {
         let mut ttl_row = vec![degree.to_string()];
         let mut loop_row = vec![degree.to_string()];
         for protocol in ProtocolKind::PAPER {
-            let point = sweep_point(protocol, degree, runs, &|_| {});
+            let point = sweep_point(protocol, degree, runs, jobs, &|_| {});
             ttl_row.push(fmt_f64(point.ttl_expirations.mean));
             loop_row.push(fmt_f64(point.looped_packets.mean));
         }

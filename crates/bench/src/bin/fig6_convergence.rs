@@ -7,13 +7,13 @@
 //! packet-drop difference between BGP and BGP-3 is negligible — fast
 //! convergence is not the same thing as good packet delivery.
 
-use bench::{runs_from_args, sweep_point};
+use bench::{sweep_args, SweepArgs, sweep_point};
 use convergence::protocols::ProtocolKind;
 use convergence::report::{fmt_f64, Table};
 use topology::mesh::MeshDegree;
 
 fn main() {
-    let runs = runs_from_args();
+    let SweepArgs { runs, jobs } = sweep_args();
     println!("Figure 6 — convergence times vs node degree, {runs} runs/point\n");
 
     let headers: Vec<String> = std::iter::once("degree".to_string())
@@ -25,7 +25,7 @@ fn main() {
         let mut fwd_row = vec![degree.to_string()];
         let mut rt_row = vec![degree.to_string()];
         for protocol in ProtocolKind::PAPER {
-            let point = sweep_point(protocol, degree, runs, &|_| {});
+            let point = sweep_point(protocol, degree, runs, jobs, &|_| {});
             fwd_row.push(fmt_f64(point.forwarding_convergence_s.mean));
             rt_row.push(fmt_f64(point.routing_convergence_s.mean));
         }

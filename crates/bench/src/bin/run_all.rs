@@ -1,8 +1,20 @@
-//! Regenerates every figure in sequence by invoking the sibling binaries'
-//! logic via `cargo run` is unnecessary — this binary simply spawns the
-//! same executables from the current target directory.
+//! Regenerates every figure by spawning the sibling binaries from the
+//! current target directory, up to `--jobs N` of them at a time
+//! (`JOBS` env var as fallback; default 1).
+//!
+//! Each child is passed an explicit `--jobs 1` so a `JOBS` environment
+//! variable cannot multiply: parallelism is spent across figures here,
+//! not again inside each sweep. Child output is buffered and printed
+//! whole as each figure finishes, so tables never interleave.
+//!
+//! Writes `results/manifest.json` recording, per target, whether it
+//! succeeded and how long it took.
 
+use std::io::Write as _;
 use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 const FIGURES: [&str; 6] = [
     "fig2_topologies",
@@ -13,7 +25,7 @@ const FIGURES: [&str; 6] = [
     "fig7_delay",
 ];
 
-const EXTRAS: [&str; 12] = [
+const EXTRAS: [&str; 13] = [
     "ablation_mrai",
     "ablation_split_horizon",
     "ablation_damping",
@@ -26,24 +38,110 @@ const EXTRAS: [&str; 12] = [
     "ext_scale",
     "ext_dual",
     "ext_factors",
+    "ext_lossy",
 ];
 
+struct Completed {
+    name: &'static str,
+    success: bool,
+    duration_s: f64,
+}
+
 fn main() {
-    let runs = std::env::args().nth(1).unwrap_or_else(|| "100".to_string());
-    let everything = std::env::args().nth(2).as_deref() == Some("all");
+    let mut runs: usize = 100;
+    let mut everything = false;
+    let mut jobs: usize = std::env::var("JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let mut args = std::env::args().skip(1);
+    let mut positionals = 0;
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            let value = args.next().expect("--jobs needs a value");
+            jobs = value.parse().expect("--jobs value must be a number");
+        } else if let Some(value) = arg.strip_prefix("--jobs=") {
+            jobs = value.parse().expect("--jobs value must be a number");
+        } else if arg == "all" {
+            everything = true;
+        } else if positionals == 0 {
+            runs = arg.parse().expect("runs-per-point must be a number");
+            positionals += 1;
+        } else {
+            panic!("usage: run_all [runs-per-point] [all] [--jobs N]");
+        }
+    }
+    let workers = convergence::parallel::effective_jobs(jobs);
+
     let me = std::env::current_exe().expect("current exe");
-    let dir = me.parent().expect("target dir");
-    let mut targets: Vec<&str> = FIGURES.to_vec();
+    let dir = me.parent().expect("target dir").to_path_buf();
+    let mut targets: Vec<&'static str> = FIGURES.to_vec();
     if everything {
         targets.extend(EXTRAS);
         targets.push("ext_load");
     }
-    for target in targets {
-        println!("==================== {target} ====================");
-        let status = Command::new(dir.join(target))
-            .arg(&runs)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {target}: {e}"));
-        assert!(status.success(), "{target} failed");
-    }
+    println!(
+        "regenerating {} figures, {} runs/point, {} concurrent",
+        targets.len(),
+        runs,
+        workers.min(targets.len())
+    );
+
+    let cursor = AtomicUsize::new(0);
+    let completed: Mutex<Vec<Completed>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(targets.len()) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(target) = targets.get(i).copied() else {
+                    break;
+                };
+                let start = Instant::now();
+                let output = Command::new(dir.join(target))
+                    .arg(runs.to_string())
+                    .args(["--jobs", "1"])
+                    .output()
+                    .unwrap_or_else(|e| panic!("failed to launch {target}: {e}"));
+                let duration_s = start.elapsed().as_secs_f64();
+                let mut done = completed.lock().expect("results lock");
+                println!("==================== {target} ====================");
+                std::io::stdout().write_all(&output.stdout).expect("stdout");
+                std::io::stderr().write_all(&output.stderr).expect("stderr");
+                if !output.status.success() {
+                    eprintln!("{target} FAILED ({})", output.status);
+                }
+                done.push(Completed {
+                    name: target,
+                    success: output.status.success(),
+                    duration_s,
+                });
+            });
+        }
+    });
+
+    let mut done = completed.into_inner().expect("results lock");
+    // Manifest entries in the canonical target order, not completion order.
+    done.sort_by_key(|c| targets.iter().position(|t| *t == c.name));
+    let entries: Vec<String> = done
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"name\": \"{}\", \"status\": \"{}\", \"duration_s\": {:.3}}}",
+                c.name,
+                if c.success { "ok" } else { "failed" },
+                c.duration_s
+            )
+        })
+        .collect();
+    let manifest = format!(
+        "{{\n  \"runs_per_point\": {runs},\n  \"jobs\": {workers},\n  \"targets\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = bench::results_dir().join("manifest.json");
+    std::fs::create_dir_all(bench::results_dir()).expect("results dir");
+    std::fs::write(&path, manifest).expect("write manifest");
+    println!("wrote {}", path.display());
+
+    let failed: Vec<&str> = done.iter().filter(|c| !c.success).map(|c| c.name).collect();
+    assert!(failed.is_empty(), "failed targets: {}", failed.join(", "));
 }

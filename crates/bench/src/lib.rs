@@ -4,15 +4,22 @@
 //! ablation; `benches/` holds criterion benchmarks. This library provides
 //! the shared sweep drivers.
 //!
-//! Every binary accepts an optional first argument: the number of
-//! randomized runs per sweep point (default 100, the paper's count).
+//! Every binary accepts an optional positional argument (the number of
+//! randomized runs per sweep point; default 100, the paper's count) and a
+//! `--jobs N` flag (worker threads per sweep point; `0` = all cores,
+//! default 1, `JOBS` env var as fallback). Sweeps are deterministic for
+//! every job count: per-run seeds depend only on the slot index, and
+//! results are assembled in slot order, so the printed tables and CSVs
+//! are byte-identical whether a sweep ran on one thread or sixteen.
 //! Results are printed as aligned tables and written as CSV under
 //! `results/`.
 
 use convergence::aggregate::{aggregate_point, PointSummary};
 use convergence::experiment::ExperimentConfig;
 use convergence::metrics::series::{delay_series, throughput_series};
+use convergence::metrics::streaming::summarize_streaming;
 use convergence::metrics::summary::{summarize, RunSummary};
+use convergence::parallel::par_map_indexed;
 use convergence::protocols::ProtocolKind;
 use convergence::runner::{run, RunResult};
 use topology::mesh::MeshDegree;
@@ -23,19 +30,87 @@ pub const DEFAULT_RUNS: usize = 100;
 /// Base seed for sweeps; per-point seeds derive deterministically.
 pub const BASE_SEED: u64 = 20030622;
 
-/// Parses the optional runs-per-point argument.
+/// Command-line options shared by every figure binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepArgs {
+    /// Randomized runs per sweep point.
+    pub runs: usize,
+    /// Worker threads per sweep point (`0` = all cores, `1` =
+    /// sequential).
+    pub jobs: usize,
+}
+
+impl Default for SweepArgs {
+    fn default() -> Self {
+        SweepArgs {
+            runs: DEFAULT_RUNS,
+            jobs: 1,
+        }
+    }
+}
+
+/// Parses `[runs-per-point] [--jobs N]` from the process arguments, with
+/// the `JOBS` environment variable as a fallback for the flag.
+///
+/// # Panics
+///
+/// Panics with a usage message on malformed arguments.
+#[must_use]
+pub fn sweep_args() -> SweepArgs {
+    parse_sweep_args(std::env::args().skip(1), std::env::var("JOBS").ok())
+}
+
+/// Testable core of [`sweep_args`].
+///
+/// # Panics
+///
+/// Panics with a usage message on malformed arguments.
+#[must_use]
+pub fn parse_sweep_args<I: Iterator<Item = String>>(
+    mut args: I,
+    jobs_env: Option<String>,
+) -> SweepArgs {
+    const USAGE: &str = "usage: <binary> [runs-per-point] [--jobs N]";
+    let mut parsed = SweepArgs::default();
+    if let Some(env) = jobs_env {
+        parsed.jobs = env
+            .parse()
+            .unwrap_or_else(|_| panic!("{USAGE}; JOBS env var not a number: {env:?}"));
+    }
+    let mut runs_seen = false;
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            let value = args
+                .next()
+                .unwrap_or_else(|| panic!("{USAGE}; --jobs needs a value"));
+            parsed.jobs = value
+                .parse()
+                .unwrap_or_else(|_| panic!("{USAGE}; got --jobs {value:?}"));
+        } else if let Some(value) = arg.strip_prefix("--jobs=") {
+            parsed.jobs = value
+                .parse()
+                .unwrap_or_else(|_| panic!("{USAGE}; got --jobs={value:?}"));
+        } else if !runs_seen {
+            parsed.runs = arg
+                .parse()
+                .unwrap_or_else(|_| panic!("{USAGE}; got {arg:?}"));
+            runs_seen = true;
+        } else {
+            panic!("{USAGE}; unexpected argument {arg:?}");
+        }
+    }
+    parsed
+}
+
+/// Parses the optional runs-per-point argument (compatibility wrapper
+/// over [`sweep_args`]; `--jobs` is accepted but ignored by the caller).
 ///
 /// # Panics
 ///
 /// Panics with a usage message when the argument is not a number.
 #[must_use]
 pub fn runs_from_args() -> usize {
-    match std::env::args().nth(1) {
-        None => DEFAULT_RUNS,
-        Some(arg) => arg
-            .parse()
-            .unwrap_or_else(|_| panic!("usage: <binary> [runs-per-point], got {arg:?}")),
-    }
+    sweep_args().runs
 }
 
 /// A deterministic seed for a sweep point. Seeds depend on the degree and
@@ -48,40 +123,60 @@ pub fn point_seed(degree: MeshDegree, run_index: usize) -> u64 {
 }
 
 /// Runs `runs` seeded repetitions of the paper experiment for one
-/// (protocol, degree) point, applying `customize` to each configuration,
-/// and maps every result through `extract`.
+/// (protocol, degree) point on up to `jobs` worker threads, applying
+/// `customize` to each configuration, and maps every result through
+/// `extract`.
+///
+/// Each worker discards the run's trace as soon as `extract` returns, so
+/// the sweep retains `runs × T`, never `runs` full traces. Results come
+/// back in run-index order regardless of `jobs`.
 ///
 /// # Panics
 ///
 /// Panics if any run fails (the paper's regular meshes never do).
-pub fn sweep_map<T>(
+pub fn sweep_map<T: Send>(
     protocol: ProtocolKind,
     degree: MeshDegree,
     runs: usize,
-    customize: &dyn Fn(&mut ExperimentConfig),
-    extract: &dyn Fn(&RunResult, &RunSummary) -> T,
+    jobs: usize,
+    customize: &(dyn Fn(&mut ExperimentConfig) + Sync),
+    extract: &(dyn Fn(&RunResult, &RunSummary) -> T + Sync),
 ) -> Vec<T> {
-    (0..runs)
-        .map(|i| {
-            let mut cfg = ExperimentConfig::paper(protocol, degree, point_seed(degree, i));
-            customize(&mut cfg);
-            let result = run(&cfg)
-                .unwrap_or_else(|e| panic!("{protocol} d{degree} run {i} failed: {e}"));
-            let summary = summarize(&result);
-            extract(&result, &summary)
-        })
-        .collect()
+    par_map_indexed(runs, jobs, |i| {
+        let mut cfg = ExperimentConfig::paper(protocol, degree, point_seed(degree, i));
+        customize(&mut cfg);
+        let result =
+            run(&cfg).unwrap_or_else(|e| panic!("{protocol} d{degree} run {i} failed: {e}"));
+        let summary = summarize(&result);
+        extract(&result, &summary)
+    })
 }
 
 /// Runs one sweep point and aggregates the scalar summaries.
+///
+/// Uses the streaming metric observers: each run's trace is folded into
+/// its [`RunSummary`] in a single pass and dropped, so a 100-run point
+/// holds 100 summaries instead of 100 event traces. The summaries are
+/// identical to the trace-based path's.
+///
+/// # Panics
+///
+/// Panics if any run fails (the paper's regular meshes never do).
 #[must_use]
 pub fn sweep_point(
     protocol: ProtocolKind,
     degree: MeshDegree,
     runs: usize,
-    customize: &dyn Fn(&mut ExperimentConfig),
+    jobs: usize,
+    customize: &(dyn Fn(&mut ExperimentConfig) + Sync),
 ) -> PointSummary {
-    let summaries = sweep_map(protocol, degree, runs, customize, &|_, s| s.clone());
+    let summaries = par_map_indexed(runs, jobs, |i| {
+        let mut cfg = ExperimentConfig::paper(protocol, degree, point_seed(degree, i));
+        customize(&mut cfg);
+        let result =
+            run(&cfg).unwrap_or_else(|e| panic!("{protocol} d{degree} run {i} failed: {e}"));
+        summarize_streaming(&result)
+    });
     aggregate_point(&summaries)
 }
 
@@ -101,12 +196,15 @@ pub fn sweep_series(
     protocol: ProtocolKind,
     degree: MeshDegree,
     runs: usize,
+    jobs: usize,
     from_s: i64,
     to_s: i64,
 ) -> Vec<SeriesPoint> {
-    sweep_map(protocol, degree, runs, &|_| {}, &|result, _| SeriesPoint {
-        throughput: throughput_series(&result.trace, result.t_fail, from_s, to_s),
-        delay: delay_series(&result.trace, result.t_fail, from_s, to_s),
+    sweep_map(protocol, degree, runs, jobs, &|_| {}, &|result, _| {
+        SeriesPoint {
+            throughput: throughput_series(&result.trace, result.t_fail, from_s, to_s),
+            delay: delay_series(&result.trace, result.t_fail, from_s, to_s),
+        }
     })
 }
 
@@ -156,9 +254,66 @@ mod tests {
     }
 
     #[test]
+    fn arg_parsing_accepts_runs_jobs_and_env() {
+        let args = |v: &[&str]| v.iter().map(|s| (*s).to_string()).collect::<Vec<_>>().into_iter();
+        assert_eq!(parse_sweep_args(args(&[]), None), SweepArgs::default());
+        assert_eq!(
+            parse_sweep_args(args(&["25"]), None),
+            SweepArgs { runs: 25, jobs: 1 }
+        );
+        assert_eq!(
+            parse_sweep_args(args(&["25", "--jobs", "4"]), None),
+            SweepArgs { runs: 25, jobs: 4 }
+        );
+        assert_eq!(
+            parse_sweep_args(args(&["--jobs=8", "10"]), None),
+            SweepArgs { runs: 10, jobs: 8 }
+        );
+        // Env fallback applies, explicit flag wins.
+        assert_eq!(
+            parse_sweep_args(args(&["5"]), Some("2".into())),
+            SweepArgs { runs: 5, jobs: 2 }
+        );
+        assert_eq!(
+            parse_sweep_args(args(&["5", "--jobs", "3"]), Some("2".into())),
+            SweepArgs { runs: 5, jobs: 3 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected argument")]
+    fn arg_parsing_rejects_extra_positionals() {
+        let _ = parse_sweep_args(["1".to_string(), "2".to_string()].into_iter(), None);
+    }
+
+    #[test]
     fn tiny_sweep_runs_end_to_end() {
-        let point = sweep_point(ProtocolKind::Spf, MeshDegree::D6, 2, &|_| {});
+        let point = sweep_point(ProtocolKind::Spf, MeshDegree::D6, 2, 1, &|_| {});
         assert_eq!(point.drops_total.n, 2);
         assert!(point.delivery_ratio.mean > 0.9);
+    }
+
+    #[test]
+    fn sweep_point_is_identical_for_any_job_count() {
+        let sequential = sweep_point(ProtocolKind::Spf, MeshDegree::D6, 3, 1, &|_| {});
+        let parallel = sweep_point(ProtocolKind::Spf, MeshDegree::D6, 3, 3, &|_| {});
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn sweep_csv_bytes_are_identical_for_any_job_count() {
+        use convergence::report::{fmt_f64, Table};
+        let csv = |jobs: usize| {
+            let point = sweep_point(ProtocolKind::Dbf, MeshDegree::D6, 2, jobs, &|_| {});
+            let mut table =
+                Table::new(["delivery", "no-route", "rtconv"].map(String::from).to_vec());
+            table.push_row(vec![
+                format!("{:.6}", point.delivery_ratio.mean),
+                fmt_f64(point.drops_no_route.mean),
+                fmt_f64(point.routing_convergence_s.mean),
+            ]);
+            table.to_csv().into_bytes()
+        };
+        assert_eq!(csv(1), csv(4));
     }
 }

@@ -1,12 +1,23 @@
 //! Multi-run aggregation: the paper averages every number over 100
 //! randomized runs per (protocol, degree) point.
+//!
+//! Sweeps are embarrassingly parallel — each run slot is a pure function
+//! of its seed — so [`run_many_jobs`] and [`run_sweep_with`] distribute
+//! slots over a [`std::thread::scope`] worker pool and reassemble results
+//! in slot order. For every `jobs` value the output is **bit-identical**
+//! to the sequential execution: same seeds, same summaries, same CSV
+//! bytes downstream. [`SweepMode::Streaming`] additionally folds each
+//! run's trace into the single-pass metric observers and discards it, so
+//! a 100-run sweep holds 100 summaries instead of 100 full event traces.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use serde::{Deserialize, Serialize};
 
 use crate::experiment::ExperimentConfig;
+use crate::metrics::streaming::summarize_streaming;
 use crate::metrics::summary::{summarize, RunSummary};
+use crate::parallel::par_map_indexed;
 use crate::runner::{run, RunError, RunResult};
 
 /// Mean / standard deviation / extremes of one metric across runs.
@@ -25,50 +36,80 @@ pub struct Aggregate {
 }
 
 impl Aggregate {
-    /// Aggregates a sample.
+    /// Aggregates a sample in a single pass (Welford's online algorithm
+    /// for the variance, so huge samples neither need a second scan nor
+    /// lose precision to the naive sum-of-squares formula).
     ///
-    /// # Panics
-    ///
-    /// Panics on an empty sample.
+    /// Returns `None` on an empty sample.
     #[must_use]
-    pub fn of(values: &[f64]) -> Self {
-        assert!(!values.is_empty(), "cannot aggregate zero observations");
-        let n = values.len();
-        let mean = values.iter().sum::<f64>() / n as f64;
-        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
-        Aggregate {
-            mean,
-            std_dev: var.sqrt(),
-            min: values.iter().copied().fold(f64::INFINITY, f64::min),
-            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-            n,
+    pub fn of(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
         }
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for (i, &v) in values.iter().enumerate() {
+            let delta = v - mean;
+            mean += delta / (i + 1) as f64;
+            m2 += delta * (v - mean);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let n = values.len();
+        Some(Aggregate {
+            mean,
+            std_dev: (m2 / n as f64).sqrt(),
+            min,
+            max,
+            n,
+        })
     }
 }
 
 /// Executes `runs` seeded repetitions of `config` (seeds
 /// `base_seed..base_seed+runs`), returning each run's result and summary.
 ///
-/// Runs whose random draw produced an unusable scenario (e.g. sender ==
-/// receiver candidates exhausted) propagate their error.
+/// Sequential convenience wrapper over [`run_many_jobs`].
 ///
 /// # Errors
 ///
-/// Returns the first [`RunError`] encountered.
+/// Returns the [`RunError`] of the lowest-indexed failing slot.
 pub fn run_many(
     config: &ExperimentConfig,
     runs: usize,
     base_seed: u64,
 ) -> Result<Vec<(RunResult, RunSummary)>, RunError> {
-    (0..runs)
-        .map(|i| {
-            let mut cfg = config.clone();
-            cfg.seed = base_seed + i as u64;
-            let result = run(&cfg)?;
-            let summary = summarize(&result);
-            Ok((result, summary))
-        })
-        .collect()
+    run_many_jobs(config, runs, base_seed, 1)
+}
+
+/// [`run_many`] on up to `jobs` worker threads (`0` = all available
+/// cores).
+///
+/// Per-slot seeds are assigned exactly as in the sequential path, and
+/// results are returned in slot order, so the output is identical for
+/// every `jobs` value.
+///
+/// # Errors
+///
+/// Returns the [`RunError`] of the lowest-indexed failing slot — the same
+/// error the sequential execution would have stopped at.
+pub fn run_many_jobs(
+    config: &ExperimentConfig,
+    runs: usize,
+    base_seed: u64,
+    jobs: usize,
+) -> Result<Vec<(RunResult, RunSummary)>, RunError> {
+    par_map_indexed(runs, jobs, |i| {
+        let mut cfg = config.clone();
+        cfg.seed = base_seed + i as u64;
+        let result = run(&cfg)?;
+        let summary = summarize(&result);
+        Ok((result, summary))
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Retry behaviour of [`run_sweep`] when a run's random draw produces an
@@ -100,6 +141,44 @@ impl RetryPolicy {
     }
 }
 
+/// What a sweep keeps per completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SweepMode {
+    /// Keep the full [`RunResult`] (trace included) next to the summary —
+    /// needed when callers extract per-run series or engine counters.
+    #[default]
+    Trace,
+    /// Fold each run's trace through the streaming metric observers
+    /// ([`summarize_streaming`]) and discard the trace: memory per run
+    /// shrinks from the full event volume to one [`RunSummary`]. The
+    /// summaries are identical to the trace path's.
+    Streaming,
+}
+
+/// Execution options of [`run_sweep_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SweepOptions {
+    /// Worker threads (`0` = all available cores, `1` = sequential).
+    pub jobs: usize,
+    /// Retry behaviour for retryable scenario errors.
+    pub retry: RetryPolicy,
+    /// What to keep per completed run.
+    pub mode: SweepMode,
+}
+
+impl SweepOptions {
+    /// Sequential, trace-keeping options with the given retry policy —
+    /// the behaviour of the original `run_sweep`.
+    #[must_use]
+    pub fn sequential(retry: RetryPolicy) -> Self {
+        SweepOptions {
+            jobs: 1,
+            retry,
+            mode: SweepMode::Trace,
+        }
+    }
+}
+
 /// One run slot that produced no usable result even after retries.
 #[derive(Debug)]
 pub struct FailedRun {
@@ -112,11 +191,21 @@ pub struct FailedRun {
     pub error: RunError,
 }
 
+/// One successfully completed sweep slot.
+#[derive(Debug)]
+pub struct CompletedRun {
+    /// The full run result; `None` in [`SweepMode::Streaming`], where the
+    /// trace was folded into the summary and discarded.
+    pub result: Option<RunResult>,
+    /// The run's scalar summary.
+    pub summary: RunSummary,
+}
+
 /// Everything a hardened sweep produced.
 #[derive(Debug)]
 pub struct SweepOutcome {
-    /// Result and summary of every successful run, in slot order.
-    pub completed: Vec<(RunResult, RunSummary)>,
+    /// Every successful run, in slot order.
+    pub completed: Vec<CompletedRun>,
     /// Slots that failed all attempts, in slot order.
     pub failed: Vec<FailedRun>,
     /// Total retry attempts consumed across the sweep (0 when every slot
@@ -128,8 +217,22 @@ impl SweepOutcome {
     /// Summaries of the successful runs.
     #[must_use]
     pub fn summaries(&self) -> Vec<RunSummary> {
-        self.completed.iter().map(|(_, s)| s.clone()).collect()
+        self.completed.iter().map(|c| c.summary.clone()).collect()
     }
+
+    /// Retained full results of the successful runs (empty in
+    /// [`SweepMode::Streaming`]).
+    pub fn results(&self) -> impl Iterator<Item = &RunResult> {
+        self.completed.iter().filter_map(|c| c.result.as_ref())
+    }
+}
+
+/// Per-slot outcome before reassembly. The completed payload is boxed:
+/// a trace-retaining [`CompletedRun`] is hundreds of bytes, a
+/// [`FailedRun`] a handful.
+enum SlotOutcome {
+    Completed(Box<CompletedRun>, u64),
+    Failed(FailedRun, u64),
 }
 
 /// Executes `runs` seeded repetitions of `config` like [`run_many`], but
@@ -140,8 +243,7 @@ impl SweepOutcome {
 /// are retried with deterministically derived reseeds up to
 /// `retry.max_attempts` total attempts.
 ///
-/// The sweep itself never fails: unsalvageable slots are reported in
-/// [`SweepOutcome::failed`] with their typed error and attempt count.
+/// Sequential, trace-keeping convenience wrapper over [`run_sweep_with`].
 #[must_use]
 pub fn run_sweep(
     config: &ExperimentConfig,
@@ -149,15 +251,29 @@ pub fn run_sweep(
     base_seed: u64,
     retry: RetryPolicy,
 ) -> SweepOutcome {
-    let max_attempts = retry.max_attempts.max(1);
-    let mut outcome = SweepOutcome {
-        completed: Vec::with_capacity(runs),
-        failed: Vec::new(),
-        retries: 0,
-    };
-    for i in 0..runs {
+    run_sweep_with(config, runs, base_seed, SweepOptions::sequential(retry))
+}
+
+/// The hardened sweep with explicit execution options: worker threads,
+/// retry policy and per-run retention ([`SweepMode`]).
+///
+/// The sweep itself never fails: unsalvageable slots are reported in
+/// [`SweepOutcome::failed`] with their typed error and attempt count.
+/// Panic isolation and the retry/reseed logic run inside each worker, and
+/// slots are reassembled in slot order, so the outcome is identical for
+/// every `jobs` value.
+#[must_use]
+pub fn run_sweep_with(
+    config: &ExperimentConfig,
+    runs: usize,
+    base_seed: u64,
+    options: SweepOptions,
+) -> SweepOutcome {
+    let max_attempts = options.retry.max_attempts.max(1);
+    let slots = par_map_indexed(runs, options.jobs, |i| {
         let slot_seed = base_seed + i as u64;
         let mut attempt = 0;
+        let mut retries = 0u64;
         loop {
             let mut cfg = config.clone();
             cfg.seed = RetryPolicy::derive_seed(slot_seed, attempt);
@@ -165,23 +281,50 @@ pub fn run_sweep(
                 .unwrap_or_else(|payload| Err(RunError::Panicked(panic_message(&payload))));
             match attempt_result {
                 Ok(result) => {
-                    let summary = summarize(&result);
-                    outcome.completed.push((result, summary));
-                    break;
+                    let completed = match options.mode {
+                        SweepMode::Trace => CompletedRun {
+                            summary: summarize(&result),
+                            result: Some(result),
+                        },
+                        SweepMode::Streaming => CompletedRun {
+                            summary: summarize_streaming(&result),
+                            result: None,
+                        },
+                    };
+                    break SlotOutcome::Completed(Box::new(completed), retries);
                 }
                 Err(error) => {
                     if error.is_retryable() && attempt + 1 < max_attempts {
                         attempt += 1;
-                        outcome.retries += 1;
+                        retries += 1;
                         continue;
                     }
-                    outcome.failed.push(FailedRun {
-                        seed: slot_seed,
-                        attempts: attempt + 1,
-                        error,
-                    });
-                    break;
+                    break SlotOutcome::Failed(
+                        FailedRun {
+                            seed: slot_seed,
+                            attempts: attempt + 1,
+                            error,
+                        },
+                        retries,
+                    );
                 }
+            }
+        }
+    });
+    let mut outcome = SweepOutcome {
+        completed: Vec::with_capacity(runs),
+        failed: Vec::new(),
+        retries: 0,
+    };
+    for slot in slots {
+        match slot {
+            SlotOutcome::Completed(completed, retries) => {
+                outcome.completed.push(*completed);
+                outcome.retries += retries;
+            }
+            SlotOutcome::Failed(failed, retries) => {
+                outcome.failed.push(failed);
+                outcome.retries += retries;
             }
         }
     }
@@ -237,6 +380,7 @@ pub struct PointSummary {
 pub fn aggregate_point(summaries: &[RunSummary]) -> PointSummary {
     let f = |extract: fn(&RunSummary) -> f64| {
         Aggregate::of(&summaries.iter().map(extract).collect::<Vec<f64>>())
+            .expect("cannot aggregate zero run summaries")
     };
     PointSummary {
         drops_no_route: f(|s| s.drops.no_route as f64),
@@ -260,7 +404,7 @@ mod tests {
 
     #[test]
     fn aggregate_of_constant_sample() {
-        let a = Aggregate::of(&[3.0, 3.0, 3.0]);
+        let a = Aggregate::of(&[3.0, 3.0, 3.0]).unwrap();
         assert_eq!(a.mean, 3.0);
         assert_eq!(a.std_dev, 0.0);
         assert_eq!(a.min, 3.0);
@@ -270,7 +414,7 @@ mod tests {
 
     #[test]
     fn aggregate_statistics() {
-        let a = Aggregate::of(&[1.0, 2.0, 3.0, 4.0]);
+        let a = Aggregate::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
         assert!((a.mean - 2.5).abs() < 1e-12);
         assert!((a.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
         assert_eq!(a.min, 1.0);
@@ -278,8 +422,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "zero observations")]
-    fn empty_sample_panics() {
-        let _ = Aggregate::of(&[]);
+    fn empty_sample_is_none() {
+        assert_eq!(Aggregate::of(&[]), None);
+    }
+
+    #[test]
+    fn welford_matches_two_pass_on_a_shifted_sample() {
+        // A mean far from zero is where the naive sum-of-squares loses
+        // precision; Welford must agree with the two-pass reference.
+        let values: Vec<f64> = (0..1000).map(|i| 1.0e9 + f64::from(i) * 0.25).collect();
+        let a = Aggregate::of(&values).unwrap();
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var =
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+        assert!((a.mean - mean).abs() < 1e-3);
+        assert!((a.std_dev - var.sqrt()).abs() < 1e-6);
     }
 }

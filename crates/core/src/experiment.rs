@@ -298,6 +298,15 @@ impl ExperimentConfig {
     }
 }
 
+// The parallel sweep engine shares one `ExperimentConfig` by reference
+// across scoped worker threads; `ProtocolFactory` carries the only
+// non-auto-derived bound (its `Arc<dyn Fn ... + Send + Sync>`).
+const _: fn() = || {
+    fn shareable<T: Send + Sync>() {}
+    shareable::<ExperimentConfig>();
+    shareable::<ProtocolFactory>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

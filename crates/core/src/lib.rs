@@ -26,6 +26,7 @@ pub mod aggregate;
 pub mod experiment;
 pub mod failure;
 pub mod metrics;
+pub mod parallel;
 pub mod protocols;
 pub mod report;
 pub mod runner;
@@ -34,7 +35,8 @@ pub mod transport;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use crate::aggregate::{
-        aggregate_point, run_many, run_sweep, Aggregate, FailedRun, PointSummary, RetryPolicy,
+        aggregate_point, run_many, run_many_jobs, run_sweep, run_sweep_with, Aggregate,
+        CompletedRun, FailedRun, PointSummary, RetryPolicy, SweepMode, SweepOptions,
         SweepOutcome,
     };
     pub use crate::experiment::{
@@ -44,7 +46,9 @@ pub mod prelude {
         FailurePlan, FailureSelection, ImpairmentAction, RestartAction, SelectionError,
     };
     pub use netsim::impairment::Impairment;
+    pub use crate::metrics::streaming::{summarize_streaming, SummaryObserver};
     pub use crate::metrics::summary::{summarize, RunSummary};
+    pub use crate::parallel::par_map_indexed;
     pub use crate::protocols::ProtocolKind;
     pub use crate::report::Table;
     pub use crate::runner::{run, Flow, RunError, RunResult};

@@ -1,9 +1,14 @@
 //! Post-hoc trace analysis: every quantity the paper's evaluation plots.
+//!
+//! Two equivalent computation paths exist: the multi-pass trace analyzers
+//! in the per-metric modules (the oracle), and the single-pass
+//! [`streaming`] observer used by memory-bounded sweeps.
 
 pub mod convergence;
 pub mod drops;
 pub mod loops;
 pub mod series;
+pub mod streaming;
 pub mod stretch;
 pub mod summary;
 pub mod switchover;
@@ -12,6 +17,7 @@ pub use convergence::{path_history, routing_convergence_time, FibReplay, PathHis
 pub use drops::{count_delivered, count_drops, DropCounts};
 pub use loops::{analyze_loops, LoopEncounter, LoopFate, LoopReport};
 pub use series::{delay_series, mean_delay, mean_delay_series, mean_u64_series, throughput_series};
+pub use streaming::{summarize_streaming, SummaryObserver};
 pub use stretch::{flow_stretch, mean_stretch, PacketStretch};
 pub use summary::{summarize, RunSummary};
 pub use switchover::{stats_for_dest, switch_overs, SwitchOver, SwitchOverStats};

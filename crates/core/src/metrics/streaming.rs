@@ -1,0 +1,325 @@
+//! Single-pass streaming computation of [`RunSummary`].
+//!
+//! [`summarize`](crate::metrics::summary::summarize) makes seven
+//! independent passes over a run's trace and needs the whole
+//! [`Trace`](netsim::trace::Trace) alive while it works. For sweeps that
+//! only need per-run scalars (every figure's aggregation path) that is
+//! wasteful twice over: CPU, because the trace is scanned repeatedly, and
+//! memory, because a 100-run sweep keeps 100 full traces alive until
+//! aggregation. [`SummaryObserver`] recomputes every metric as an online
+//! fold — one `observe` call per [`TraceEvent`], in trace order — so a
+//! sweep worker can fold a finished run and immediately discard it.
+//!
+//! The observer is **not** an approximation: for every trace produced by
+//! [`run`](crate::runner::run) it yields a [`RunSummary`] exactly equal
+//! (including float bit-patterns — summation orders are preserved) to the
+//! trace-based oracle. `summarize` remains the reference implementation;
+//! the equality is enforced by tests over every protocol family.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use netsim::ident::{NodeId, PacketId};
+use netsim::packet::DropReason;
+use netsim::simulator::SimStats;
+use netsim::time::{SimDuration, SimTime};
+use netsim::trace::TraceEvent;
+use topology::graph::{Edge, Graph};
+use topology::shortest_path::bfs;
+
+use crate::metrics::convergence::{FibReplay, PathOutcome};
+use crate::metrics::drops::DropCounts;
+use crate::metrics::summary::RunSummary;
+use crate::runner::{Flow, RunResult};
+
+/// In-flight per-packet loop-forensics state (dropped as soon as the
+/// packet resolves, unlike the post-hoc analyzer which retains every
+/// packet's full hop log until the end).
+#[derive(Default)]
+struct PacketLog {
+    visited: Vec<NodeId>,
+    looped: bool,
+}
+
+/// Incrementally folds a run's [`TraceEvent`]s into a [`RunSummary`].
+///
+/// Feed events in trace (time) order via [`observe`](Self::observe), then
+/// call [`finish`](Self::finish) with the run's engine counters.
+pub struct SummaryObserver {
+    flow: Flow,
+    t_fail: SimTime,
+    detection: SimDuration,
+    // Shortest-path baselines for stretch (pre-/post-failure epochs).
+    dist_before: u32,
+    dist_after: u32,
+    // Drops and delivery.
+    drops: DropCounts,
+    delivered: u64,
+    // Mean end-to-end delay.
+    delay_sum: f64,
+    delay_count: u64,
+    // Routing convergence: the last post-failure FIB change anywhere.
+    last_route_change: Option<SimTime>,
+    // Forwarding-path history of the first flow.
+    replay: FibReplay,
+    baseline_done: bool,
+    last_outcome: Option<PathOutcome>,
+    transient_paths: usize,
+    last_path_change: SimTime,
+    // Loop forensics (in-flight packets only).
+    packet_logs: BTreeMap<PacketId, PacketLog>,
+    looped_packets: u64,
+    loop_escapes: u64,
+    // Switch-over windows for the flow's destination.
+    open_windows: BTreeMap<NodeId, SimTime>,
+    max_switchover_s: f64,
+    // Stretch of the flow's delivered packets.
+    flow_packets: BTreeSet<PacketId>,
+    stretch_sum: f64,
+    stretch_count: u64,
+    // End of the run = timestamp of the last event seen.
+    last_event_time: Option<SimTime>,
+}
+
+impl SummaryObserver {
+    /// Creates an observer for one run's context: the topology, the edges
+    /// that fail at `t_fail`, the (first) flow being measured and the
+    /// configured failure-detection latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow's receiver is unreachable even before the
+    /// failure (mirroring the trace-based stretch oracle).
+    #[must_use]
+    pub fn new(
+        graph: &Graph,
+        failed: &[Edge],
+        flow: Flow,
+        t_fail: SimTime,
+        detection: SimDuration,
+    ) -> Self {
+        let dist_before = bfs(graph, flow.sender)
+            .distance(flow.receiver)
+            .expect("dst reachable before failure");
+        let mut degraded = graph.clone();
+        for edge in failed {
+            degraded = degraded.without_edge(*edge);
+        }
+        let dist_after = bfs(&degraded, flow.sender)
+            .distance(flow.receiver)
+            .unwrap_or(dist_before);
+        SummaryObserver {
+            flow,
+            t_fail,
+            detection,
+            dist_before,
+            dist_after,
+            drops: DropCounts::default(),
+            delivered: 0,
+            delay_sum: 0.0,
+            delay_count: 0,
+            last_route_change: None,
+            replay: FibReplay::new(graph.num_nodes()),
+            baseline_done: false,
+            last_outcome: None,
+            transient_paths: 0,
+            last_path_change: t_fail,
+            packet_logs: BTreeMap::new(),
+            looped_packets: 0,
+            loop_escapes: 0,
+            open_windows: BTreeMap::new(),
+            max_switchover_s: 0.0,
+            flow_packets: BTreeSet::new(),
+            stretch_sum: 0.0,
+            stretch_count: 0,
+            last_event_time: None,
+        }
+    }
+
+    /// Folds one trace event. Must be called in trace (time) order.
+    pub fn observe(&mut self, event: &TraceEvent) {
+        let time = event.time();
+        self.last_event_time = Some(time);
+
+        // Forwarding-path history: pre-failure events only build FIB
+        // state; the steady pre-failure path is walked once, the first
+        // time the clock reaches `t_fail`.
+        if !self.baseline_done && time >= self.t_fail {
+            self.last_outcome = Some(self.replay.walk(self.flow.sender, self.flow.receiver));
+            self.baseline_done = true;
+        }
+        if let TraceEvent::RouteChanged { .. } = event {
+            self.replay.apply(event);
+            if self.baseline_done {
+                let outcome = self.replay.walk(self.flow.sender, self.flow.receiver);
+                if self.last_outcome.as_ref() != Some(&outcome) {
+                    self.transient_paths += 1;
+                    self.last_outcome = Some(outcome);
+                    self.last_path_change = time;
+                }
+            }
+        }
+
+        match event {
+            TraceEvent::PacketInjected { id, src, dst, .. } => {
+                self.packet_logs.entry(*id).or_default().visited.push(*src);
+                if *src == self.flow.sender && *dst == self.flow.receiver {
+                    self.flow_packets.insert(*id);
+                }
+            }
+            TraceEvent::PacketForwarded { id, next_hop, .. } => {
+                let log = self.packet_logs.entry(*id).or_default();
+                if !log.looped && log.visited.contains(next_hop) {
+                    log.looped = true;
+                    self.looped_packets += 1;
+                }
+                log.visited.push(*next_hop);
+            }
+            TraceEvent::PacketDelivered {
+                time,
+                id,
+                hops,
+                sent_at,
+                ..
+            } => {
+                self.delivered += 1;
+                self.delay_sum += time.saturating_since(*sent_at).as_secs_f64();
+                self.delay_count += 1;
+                if let Some(log) = self.packet_logs.remove(id) {
+                    if log.looped {
+                        self.loop_escapes += 1;
+                    }
+                }
+                if self.flow_packets.contains(id) {
+                    let optimal = if *time < self.t_fail {
+                        self.dist_before
+                    } else {
+                        self.dist_after
+                    };
+                    self.stretch_sum += f64::from(*hops) / f64::from(optimal.max(1));
+                    self.stretch_count += 1;
+                }
+            }
+            TraceEvent::PacketDropped { id, reason, .. } => {
+                match reason {
+                    DropReason::NoRoute => self.drops.no_route += 1,
+                    DropReason::TtlExpired => self.drops.ttl_expired += 1,
+                    DropReason::LinkDown => self.drops.link_down += 1,
+                    DropReason::QueueOverflow => self.drops.queue_overflow += 1,
+                    DropReason::Impaired => self.drops.impaired += 1,
+                }
+                self.packet_logs.remove(id);
+            }
+            TraceEvent::RouteChanged {
+                time,
+                node,
+                dest,
+                new,
+                ..
+            } => {
+                if *time >= self.t_fail {
+                    self.last_route_change = Some(*time);
+                }
+                if *dest == self.flow.receiver {
+                    match new {
+                        None => {
+                            if *time >= self.t_fail {
+                                self.open_windows.entry(*node).or_insert(*time);
+                            }
+                        }
+                        Some(_) => {
+                            if let Some(began) = self.open_windows.remove(node) {
+                                let dur = time.saturating_since(began).as_secs_f64();
+                                self.max_switchover_s = self.max_switchover_s.max(dur);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Closes every open fold and produces the summary.
+    #[must_use]
+    pub fn finish(self, stats: &SimStats) -> RunSummary {
+        let detect_at = self.t_fail + self.detection;
+        let run_end = self.last_event_time.unwrap_or(self.t_fail);
+        // Windows never closed by a re-install run to the end of the run.
+        let mut max_switchover_s = self.max_switchover_s;
+        for began in self.open_windows.values() {
+            max_switchover_s = max_switchover_s.max(run_end.saturating_since(*began).as_secs_f64());
+        }
+        RunSummary {
+            injected: stats.packets_injected,
+            delivered: self.delivered,
+            drops: self.drops,
+            routing_convergence_s: self
+                .last_route_change
+                .map_or(0.0, |t| t.saturating_since(detect_at).as_secs_f64()),
+            forwarding_convergence_s: if self.last_path_change > self.t_fail {
+                self.last_path_change.saturating_since(detect_at).as_secs_f64()
+            } else {
+                0.0
+            },
+            transient_paths: self.transient_paths,
+            looped_packets: self.looped_packets,
+            loop_escapes: self.loop_escapes,
+            mean_delay_s: (self.delay_count > 0).then(|| self.delay_sum / self.delay_count as f64),
+            max_switchover_s,
+            mean_stretch: if self.stretch_count == 0 {
+                1.0
+            } else {
+                self.stretch_sum / self.stretch_count as f64
+            },
+            control_messages: stats.control_messages_sent,
+            control_bytes: stats.control_bytes_sent,
+        }
+    }
+}
+
+/// Computes a finished run's summary through the streaming observer.
+///
+/// Produces a value equal to
+/// [`summarize`](crate::metrics::summary::summarize) in a single pass
+/// over the trace; used by the streaming sweep mode, where the
+/// [`RunResult`] (and its trace) is dropped right after this call.
+#[must_use]
+pub fn summarize_streaming(result: &RunResult) -> RunSummary {
+    let mut observer = SummaryObserver::new(
+        &result.graph,
+        &result.failure.edges,
+        result.flows[0],
+        result.t_fail,
+        result.detection,
+    );
+    for event in &result.trace {
+        observer.observe(event);
+    }
+    observer.finish(&result.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentConfig;
+    use crate::metrics::summary::summarize;
+    use crate::protocols::ProtocolKind;
+    use crate::runner::run;
+    use topology::mesh::MeshDegree;
+
+    #[test]
+    fn streaming_equals_trace_oracle_on_a_paper_run() {
+        let result = run(&ExperimentConfig::paper(ProtocolKind::Spf, MeshDegree::D4, 3)).unwrap();
+        assert_eq!(summarize_streaming(&result), summarize(&result));
+    }
+
+    #[test]
+    fn streaming_matches_on_a_low_degree_run() {
+        let result = run(&ExperimentConfig::paper(ProtocolKind::Rip, MeshDegree::D3, 5)).unwrap();
+        let stream = summarize_streaming(&result);
+        let oracle = summarize(&result);
+        assert_eq!(stream, oracle);
+        // The fold must keep only in-flight packet state, never the trace.
+        assert!(stream.injected > 0);
+    }
+}

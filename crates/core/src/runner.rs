@@ -363,6 +363,14 @@ pub fn run(config: &ExperimentConfig) -> Result<RunResult, RunError> {
     })
 }
 
+// Sweep workers move finished results (and slot errors) back to the
+// assembling thread.
+const _: fn() = || {
+    fn sendable<T: Send>() {}
+    sendable::<RunResult>();
+    sendable::<RunError>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,8 +1,16 @@
 //! The simulator's event calendar.
 //!
-//! A binary heap keyed on `(time, sequence)` where the sequence number makes
+//! Ordering is keyed on `(time, sequence)` where the sequence number makes
 //! ordering stable: two events scheduled for the same instant fire in the
 //! order they were scheduled. This is what makes runs deterministic.
+//!
+//! Internally the queue is an *indexed* binary heap: the heap itself holds
+//! only small fixed-size keys (`time`, `seq`, slab slot), while the
+//! [`EventKind`] payloads — which carry whole frames, packets and even
+//! boxed protocol instances — sit still in a slab with a free list. Heap
+//! sift operations therefore move 24-byte keys instead of the large event
+//! enum, and popped slots are recycled so a steady-state run stops
+//! allocating once the calendar reaches its high-water mark.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -60,28 +68,29 @@ pub(crate) enum EventKind {
     NodeRestart { node: NodeId, protocol: FreshProtocol },
 }
 
-#[derive(Debug)]
-struct Scheduled {
+/// The fixed-size heap key: everything ordering needs, nothing more.
+#[derive(Debug, Clone, Copy)]
+struct HeapKey {
     time: SimTime,
     seq: u64,
-    kind: EventKind,
+    slot: u32,
 }
 
-impl PartialEq for Scheduled {
+impl PartialEq for HeapKey {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
 
-impl Eq for Scheduled {}
+impl Eq for HeapKey {}
 
-impl PartialOrd for Scheduled {
+impl PartialOrd for HeapKey {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl Ord for Scheduled {
+impl Ord for HeapKey {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event is popped
         // first, breaking ties by schedule order.
@@ -89,17 +98,37 @@ impl Ord for Scheduled {
     }
 }
 
+/// Slots pre-allocated on construction; the busiest paper runs keep a few
+/// thousand events in flight, so most runs never grow the calendar.
+const INITIAL_CAPACITY: usize = 1024;
+
 /// A deterministic future-event list.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct EventQueue {
-    heap: BinaryHeap<Scheduled>,
+    heap: BinaryHeap<HeapKey>,
+    /// Payload slab indexed by `HeapKey::slot`; `None` marks a free slot.
+    slab: Vec<Option<EventKind>>,
+    /// Recyclable slab slots (popped events release theirs).
+    free: Vec<u32>,
     next_seq: u64,
     now: SimTime,
 }
 
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
 impl EventQueue {
     pub(crate) fn new() -> Self {
-        EventQueue::default()
+        EventQueue {
+            heap: BinaryHeap::with_capacity(INITIAL_CAPACITY),
+            slab: Vec::with_capacity(INITIAL_CAPACITY),
+            free: Vec::with_capacity(INITIAL_CAPACITY),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// Current simulated time (the timestamp of the last popped event).
@@ -120,19 +149,34 @@ impl EventQueue {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot as usize] = Some(kind);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slab.len()).expect("event slab overflow");
+                self.slab.push(Some(kind));
+                slot
+            }
+        };
+        self.heap.push(HeapKey {
             time: at,
             seq,
-            kind,
+            slot,
         });
     }
 
     /// Pops the next event, advancing the clock to its timestamp.
     pub(crate) fn pop(&mut self) -> Option<(SimTime, EventKind)> {
-        let ev = self.heap.pop()?;
-        debug_assert!(ev.time >= self.now, "event queue went backwards");
-        self.now = ev.time;
-        Some((ev.time, ev.kind))
+        let key = self.heap.pop()?;
+        debug_assert!(key.time >= self.now, "event queue went backwards");
+        self.now = key.time;
+        let kind = self.slab[key.slot as usize]
+            .take()
+            .expect("heap key points at an occupied slab slot");
+        self.free.push(key.slot);
+        Some((key.time, kind))
     }
 
     /// Timestamp of the next event without popping it.
@@ -216,6 +260,20 @@ mod tests {
         q.schedule(SimTime::from_secs(2), marker(0));
         q.pop();
         q.schedule(SimTime::from_secs(1), marker(1));
+    }
+
+    #[test]
+    fn slab_slots_are_recycled() {
+        let mut q = EventQueue::new();
+        // Interleave schedule/pop so the in-flight count stays at one; the
+        // slab must not grow beyond that high-water mark.
+        for i in 0..100 {
+            q.schedule(SimTime::from_secs(i + 1), marker(i as u32));
+            let (_, kind) = q.pop().unwrap();
+            assert_eq!(channel_of(&kind), i as u32);
+        }
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.slab.len(), 1, "one slot recycled a hundred times");
     }
 
     #[test]

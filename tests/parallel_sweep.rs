@@ -1,0 +1,98 @@
+//! End-to-end tests of the parallel sweep engine: bit-identical results
+//! for every worker count, streaming-vs-trace metric equality, and panic
+//! isolation inside a multi-threaded sweep.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use convergence::experiment::ProtocolFactory;
+use convergence::prelude::*;
+use spf::Spf;
+use topology::mesh::MeshDegree;
+
+fn options(jobs: usize, mode: SweepMode) -> SweepOptions {
+    SweepOptions {
+        jobs,
+        retry: RetryPolicy::default(),
+        mode,
+    }
+}
+
+#[test]
+fn run_many_is_bit_identical_for_every_job_count() {
+    let cfg = ExperimentConfig::paper(ProtocolKind::Dbf, MeshDegree::D4, 0);
+    let sequential = run_many_jobs(&cfg, 4, 901, 1).expect("sequential runs succeed");
+    let parallel = run_many_jobs(&cfg, 4, 901, 4).expect("parallel runs succeed");
+    assert_eq!(sequential.len(), parallel.len());
+    for ((seq_result, seq_summary), (par_result, par_summary)) in
+        sequential.iter().zip(parallel.iter())
+    {
+        assert_eq!(seq_summary, par_summary);
+        assert_eq!(seq_result.trace.len(), par_result.trace.len());
+        assert_eq!(
+            seq_result.stats.events_processed,
+            par_result.stats.events_processed
+        );
+    }
+}
+
+#[test]
+fn hardened_sweep_is_bit_identical_for_every_job_count() {
+    let cfg = ExperimentConfig::paper(ProtocolKind::Rip, MeshDegree::D4, 0);
+    let sequential = run_sweep_with(&cfg, 4, 300, options(1, SweepMode::Trace));
+    let parallel = run_sweep_with(&cfg, 4, 300, options(4, SweepMode::Trace));
+    assert!(sequential.failed.is_empty());
+    assert!(parallel.failed.is_empty());
+    assert_eq!(sequential.retries, parallel.retries);
+    assert_eq!(sequential.summaries(), parallel.summaries());
+}
+
+#[test]
+fn streaming_mode_matches_trace_mode_for_each_paper_protocol() {
+    for protocol in [ProtocolKind::Rip, ProtocolKind::Dbf, ProtocolKind::Bgp3] {
+        let cfg = ExperimentConfig::paper(protocol, MeshDegree::D4, 0);
+        let trace = run_sweep_with(&cfg, 3, 700, options(2, SweepMode::Trace));
+        let streaming = run_sweep_with(&cfg, 3, 700, options(2, SweepMode::Streaming));
+        assert!(trace.failed.is_empty(), "{protocol}: trace sweep failed");
+        assert_eq!(
+            trace.summaries(),
+            streaming.summaries(),
+            "{protocol}: streaming fold diverged from the trace analyzers"
+        );
+        // Streaming discards every trace; trace mode keeps them all.
+        assert_eq!(streaming.results().count(), 0);
+        assert_eq!(trace.results().count(), 3);
+    }
+}
+
+#[test]
+fn a_panicking_run_is_isolated_and_reported() {
+    let runs = 4;
+    // The factory is called once per node (49 per run); exactly one call
+    // — inside exactly one run, whichever worker gets there first —
+    // panics. The other slots must complete untouched.
+    let builds = Arc::new(AtomicUsize::new(0));
+    let trigger = 60; // lands mid-build of some run for every schedule
+    let factory = {
+        let builds = Arc::clone(&builds);
+        ProtocolFactory::new(move || {
+            assert_ne!(
+                builds.fetch_add(1, Ordering::Relaxed),
+                trigger,
+                "injected protocol-construction panic"
+            );
+            Box::new(Spf::default())
+        })
+    };
+    let mut cfg = ExperimentConfig::paper(ProtocolKind::Spf, MeshDegree::D4, 0);
+    cfg.protocol_override = Some(factory);
+
+    let outcome = run_sweep_with(&cfg, runs, 40, options(2, SweepMode::Streaming));
+    assert_eq!(outcome.completed.len(), runs - 1);
+    assert_eq!(outcome.failed.len(), 1);
+    assert!(
+        matches!(outcome.failed[0].error, RunError::Panicked(_)),
+        "expected a Panicked error, got: {}",
+        outcome.failed[0].error
+    );
+}
