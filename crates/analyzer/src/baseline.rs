@@ -1,0 +1,186 @@
+//! The R001 ratchet: a committed table of tolerated panic-site counts.
+//!
+//! `crates/analyzer/baseline.toml` records, per library file, how many
+//! `unwrap()/expect(/panic!` sites existed when the baseline was last
+//! written. The check fails when any file's count **rises** above its
+//! baseline (new debt), merely notes when it falls (run
+//! `simlint --baseline write` to ratchet down), and treats files absent
+//! from the table as baseline 0 — so new files must be panic-free from
+//! their first commit.
+//!
+//! The format is a deliberately tiny TOML subset (one `[r001]` table of
+//! quoted-path keys to integer counts) so the analyzer stays
+//! dependency-free.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// Parsed baseline: path → tolerated R001 count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Tolerated `unwrap()/expect(/panic!` sites per library file.
+    pub r001: BTreeMap<String, usize>,
+}
+
+/// Why a baseline file failed to parse.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line in `baseline.toml`.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "baseline.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl Baseline {
+    /// Parses the baseline text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] naming the offending line.
+    pub fn parse(text: &str) -> Result<Baseline, ParseError> {
+        let mut r001 = BTreeMap::new();
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(ParseError {
+                        line: line_no,
+                        message: "unterminated section header".to_string(),
+                    });
+                };
+                section = name.trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ParseError {
+                    line: line_no,
+                    message: "expected `\"path\" = count`".to_string(),
+                });
+            };
+            let key = key.trim();
+            let key = key
+                .strip_prefix('"')
+                .and_then(|k| k.strip_suffix('"'))
+                .unwrap_or(key);
+            let count: usize = match value.trim().parse() {
+                Ok(n) => n,
+                Err(_) => {
+                    return Err(ParseError {
+                        line: line_no,
+                        message: format!("count is not an integer: {}", value.trim()),
+                    });
+                }
+            };
+            if section == "r001" {
+                r001.insert(key.to_string(), count);
+            } // unknown sections are tolerated for forward compatibility
+        }
+        Ok(Baseline { r001 })
+    }
+
+    /// Loads the baseline from `path`; a missing file is an empty
+    /// baseline (every count 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error message for a malformed file.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Baseline::parse(&text).map_err(|e| e.to_string()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+        }
+    }
+
+    /// Renders the baseline in canonical form (sorted, zero counts
+    /// omitted).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# R001 ratchet: tolerated unwrap()/expect(/panic! sites per library file.\n\
+             # Regenerate (only ever downward) with:\n\
+             #     cargo run -p analyzer -- --baseline write\n\
+             # New library files are held to zero; this table exists so\n\
+             # pre-existing debt fails no builds while new debt fails fast.\n\
+             \n[r001]\n",
+        );
+        for (path, count) in &self.r001 {
+            if *count > 0 {
+                out.push_str(&format!("\"{path}\" = {count}\n"));
+            }
+        }
+        out
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // No quoted `#` appears in our keys; a plain split is enough.
+    match line.split_once('#') {
+        Some((head, _)) => head,
+        None => line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_render() {
+        let mut b = Baseline::default();
+        b.r001.insert("crates/netsim/src/event.rs".to_string(), 2);
+        b.r001.insert("crates/core/src/a.rs".to_string(), 1);
+        let text = b.render();
+        let parsed = Baseline::parse(&text).expect("round trip");
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn zero_counts_are_omitted_on_render() {
+        let mut b = Baseline::default();
+        b.r001.insert("a.rs".to_string(), 0);
+        assert!(!b.render().contains("a.rs"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header\n\n[r001]\n\"x.rs\" = 3 # trailing\n";
+        let b = Baseline::parse(text).expect("parses");
+        assert_eq!(b.r001.get("x.rs"), Some(&3));
+    }
+
+    #[test]
+    fn unknown_sections_are_tolerated() {
+        let text = "[future]\n\"y.rs\" = 9\n[r001]\n\"x.rs\" = 1\n";
+        let b = Baseline::parse(text).expect("parses");
+        assert_eq!(b.r001.len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let err = Baseline::parse("[r001]\nnot a pair\n").expect_err("must fail");
+        assert_eq!(err.line, 2);
+        let err = Baseline::parse("[r001\n").expect_err("must fail");
+        assert_eq!(err.line, 1);
+        let err = Baseline::parse("[r001]\n\"x\" = lots\n").expect_err("must fail");
+        assert!(err.message.contains("integer"));
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let b = Baseline::load(Path::new("/nonexistent/baseline.toml")).expect("empty");
+        assert!(b.r001.is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! # analyzer — `simlint`, the workspace's own static-analysis pass
+//!
+//! The paper's packet-delivery figures are reproducible only because
+//! every sweep is bit-deterministic under any `--jobs` value. The test
+//! suite *asserts* that invariant; this crate *enforces* the source-level
+//! discipline behind it, with a dependency-free lexical analyzer (the
+//! workspace builds offline, so no `syn`/rustc plumbing):
+//!
+//! * **D001 `unordered-map`** — no `HashMap`/`HashSet` in sim/protocol
+//!   crates, whose iteration order could leak into traces and CSVs;
+//! * **D002 `wall-clock`** — no `Instant::now`/`SystemTime::now` outside
+//!   `crates/bench`: simulation logic runs on [`SimTime`] only;
+//! * **D003 `unseeded-rng`** — no `thread_rng`/`from_entropy`/`OsRng`
+//!   outside tests and benches: all randomness flows from the run seed;
+//! * **R001 `panic`** — no `unwrap()`/`expect(`/`panic!` in library code
+//!   (tests, benches, examples and binaries are exempt), governed by the
+//!   committed [`baseline`] ratchet: existing debt is tolerated, new debt
+//!   fails, counts only ever go down;
+//! * **S001 `unsafe`** — every library crate root carries
+//!   `#![forbid(unsafe_code)]` and no `unsafe` token appears in lib code.
+//!
+//! Hard rules are suppressed per line with
+//! `// simlint: allow(<rule>, reason = "...")` — the reason is mandatory
+//! and malformed annotations are themselves diagnosed (**A001**).
+//!
+//! [`SimTime`]: https://docs.rs/netsim
+//!
+//! ```
+//! use analyzer::lexer::lex;
+//! use analyzer::rules::{check_file, classify};
+//!
+//! let ctx = classify("crates/netsim/src/demo.rs").ok_or("scope")?;
+//! let report = check_file(&ctx, &lex("use std::collections::HashMap;"));
+//! assert_eq!(report.findings.len(), 1);
+//! # Ok::<(), &'static str>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;

@@ -1,0 +1,173 @@
+//! Walking the workspace and assembling the full analysis.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::baseline::Baseline;
+use crate::lexer::lex;
+use crate::rules::{check_file, check_forbid_unsafe, classify, Finding, RuleId};
+
+/// Everything one analysis run produced.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Hard findings (D001–D003, S001, A001), sorted by path then line.
+    pub findings: Vec<Finding>,
+    /// Per-library-file R001 site lines (1-based), path-sorted.
+    pub r001: BTreeMap<String, Vec<usize>>,
+}
+
+impl Analysis {
+    /// Current R001 counts in baseline form.
+    #[must_use]
+    pub fn r001_counts(&self) -> Baseline {
+        Baseline {
+            r001: self
+                .r001
+                .iter()
+                .filter(|(_, lines)| !lines.is_empty())
+                .map(|(p, lines)| (p.clone(), lines.len()))
+                .collect(),
+        }
+    }
+
+    /// Compares current R001 counts against a baseline, producing one
+    /// finding per regressed file and a note per improvable file.
+    #[must_use]
+    pub fn ratchet(&self, baseline: &Baseline) -> (Vec<Finding>, Vec<String>) {
+        let mut regressions = Vec::new();
+        let mut improvements = Vec::new();
+        for (path, lines) in &self.r001 {
+            let tolerated = baseline.r001.get(path).copied().unwrap_or(0);
+            let count = lines.len();
+            if count > tolerated {
+                let at = lines
+                    .iter()
+                    .map(|l| l.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                regressions.push(Finding {
+                    rule: RuleId::R001,
+                    path: path.clone(),
+                    line: lines.first().copied().unwrap_or(1),
+                    message: format!(
+                        "{count} unwrap()/expect(/panic! sites in library code \
+                         (baseline tolerates {tolerated}); sites at lines {at}"
+                    ),
+                    help: "return a Result (RunError/BuildError/MetricsError) instead; \
+                           the ratchet only ever goes down"
+                        .to_string(),
+                });
+            } else if count < tolerated {
+                improvements.push(format!(
+                    "{path}: {count} panic sites, baseline tolerates {tolerated} \
+                     — run `cargo run -p analyzer -- --baseline write` to ratchet down"
+                ));
+            }
+        }
+        // Baseline entries for deleted files are improvable too.
+        for (path, tolerated) in &baseline.r001 {
+            if *tolerated > 0 && !self.r001.contains_key(path) {
+                improvements.push(format!(
+                    "{path}: file gone or panic-free, baseline still tolerates {tolerated}"
+                ));
+            }
+        }
+        (regressions, improvements)
+    }
+}
+
+/// Recursively collects workspace `.rs` files, skipping build output,
+/// vendored stubs, test fixture trees and VCS metadata.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let entries = std::fs::read_dir(dir)?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        paths.push(entry?.path());
+    }
+    paths.sort();
+    for path in paths {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if matches!(name, "target" | "vendor" | "results" | "fixtures") || name.starts_with('.')
+            {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Library crate roots that must carry `#![forbid(unsafe_code)]`: every
+/// `crates/*/src/lib.rs` plus the workspace package's `src/lib.rs`.
+fn lib_roots(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let root_lib = root.join("src/lib.rs");
+    if root_lib.is_file() {
+        out.push(root_lib);
+    }
+    let crates = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates) {
+        let mut dirs: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        dirs.sort();
+        for dir in dirs {
+            let lib = dir.join("src/lib.rs");
+            if lib.is_file() {
+                out.push(lib);
+            }
+        }
+    }
+    out
+}
+
+/// Analyzes the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Fails only on I/O errors (unreadable directories or files).
+pub fn analyze(root: &Path) -> std::io::Result<Analysis> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    let roots = lib_roots(root);
+
+    let mut analysis = Analysis::default();
+    for path in &files {
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => continue,
+        };
+        let Some(ctx) = classify(&rel) else {
+            continue;
+        };
+        let source = std::fs::read_to_string(path)?;
+        let lexed = lex(&source);
+        let mut report = check_file(&ctx, &lexed);
+        if roots.iter().any(|r| r == path) {
+            if let Some(finding) = check_forbid_unsafe(&ctx, &lexed) {
+                report.findings.push(finding);
+            }
+        }
+        analysis.findings.append(&mut report.findings);
+        if !report.r001_lines.is_empty() {
+            analysis.r001.insert(rel, report.r001_lines);
+        }
+    }
+    analysis
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(analysis)
+}
+
+/// Renders one finding rustc-style.
+#[must_use]
+pub fn render_finding(f: &Finding) -> String {
+    format!(
+        "error[{}]: {}\n  --> {}:{}\n  = help: {}\n",
+        f.rule, f.message, f.path, f.line, f.help
+    )
+}

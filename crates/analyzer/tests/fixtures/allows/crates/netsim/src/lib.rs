@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+// simlint: allow(unordered-map, reason = "fixture: iteration never observed")
+use std::collections::HashMap;
+
+pub fn tolerated() -> usize {
+    // simlint: allow(unordered-map, reason = "fixture: iteration never observed")
+    HashMap::<u64, u64>::new().len()
+}

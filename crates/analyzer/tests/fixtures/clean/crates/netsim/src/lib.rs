@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+use std::collections::BTreeMap;
+
+pub fn ordered() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}

@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+// simlint: allow(unordered-map)
+use std::collections::BTreeMap;
+
+pub fn fine() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}

@@ -1,0 +1,9 @@
+#![forbid(unsafe_code)]
+
+pub fn first(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn second(v: Option<u32>) -> u32 {
+    v.expect("fixture")
+}

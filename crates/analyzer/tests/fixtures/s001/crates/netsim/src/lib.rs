@@ -1,0 +1,6 @@
+use std::collections::BTreeMap;
+
+pub fn read(map: &BTreeMap<u32, u32>, k: u32) -> u32 {
+    let p: *const u32 = &map[&k];
+    unsafe { *p }
+}

@@ -1,0 +1,15 @@
+#![forbid(unsafe_code)]
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn bad_map() -> usize {
+    HashMap::<u64, u64>::new().len()
+}
+
+pub fn bad_clock() -> Instant {
+    Instant::now()
+}
+
+pub fn bad_rng() -> u64 {
+    thread_rng().next_u64()
+}

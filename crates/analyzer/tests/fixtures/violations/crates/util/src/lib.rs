@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+use std::collections::HashMap;
+
+pub fn fine_here() -> usize {
+    HashMap::<u64, u64>::new().len()
+}

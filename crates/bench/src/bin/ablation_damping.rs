@@ -22,13 +22,13 @@ fn with_mode(kind: ProtocolKind, mode: DampingMode) -> ProtocolFactory {
             Box::new(rip::Rip::with_config(rip::RipConfig {
                 damping_mode: mode,
                 ..rip::RipConfig::default()
-            }))
+            }).expect("valid config"))
         }),
         ProtocolKind::Dbf => ProtocolFactory::new(move || {
             Box::new(dbf::Dbf::with_config(dbf::DbfConfig {
                 damping_mode: mode,
                 ..dbf::DbfConfig::default()
-            }))
+            }).expect("valid config"))
         }),
         other => panic!("damping ablation only applies to RIP/DBF, not {other}"),
     }

@@ -20,7 +20,7 @@ fn rip_with_holddown(secs: u64) -> ProtocolFactory {
         Box::new(Rip::with_config(RipConfig {
             hold_down: Some(SimDuration::from_secs(secs)),
             ..RipConfig::default()
-        }))
+        }).expect("valid config"))
     })
 }
 

@@ -43,7 +43,7 @@ fn main() {
                     Box::new(Bgp::with_config(BgpConfig {
                         mrai_scope: MraiScope::PerNeighborDestination,
                         ..BgpConfig::standard()
-                    }))
+                    }).expect("valid config"))
                 }));
         });
         table.push_row(vec![

@@ -17,7 +17,7 @@ fn dbf_with(mode: SplitHorizon) -> ProtocolFactory {
         Box::new(Dbf::with_config(DbfConfig {
             split_horizon: mode,
             ..DbfConfig::default()
-        }))
+        }).expect("valid config"))
     })
 }
 

@@ -39,7 +39,7 @@ fn run_one(i: usize) -> RunResult {
 /// Renders the sweep's aggregate exactly the way a figure binary would,
 /// so CSV comparison exercises the full float-formatting path.
 fn point_csv(summaries: &[RunSummary]) -> String {
-    let point = aggregate_point(summaries);
+    let point = aggregate_point(summaries).expect("nonempty sweep");
     let mut table = Table::new(
         ["protocol", "degree", "delivery %", "no-route", "ttl", "fwdconv(s)", "rtconv(s)"]
             .map(String::from)
@@ -89,7 +89,7 @@ fn main() {
     for i in 0..runs {
         let result = run_one(i);
         events_total += result.stats.events_processed;
-        seq_summaries.push(summarize(&result));
+        seq_summaries.push(summarize(&result).expect("summary"));
     }
     let sequential_s = t0.elapsed().as_secs_f64();
     let seq_csv = point_csv(&seq_summaries);
@@ -97,7 +97,7 @@ fn main() {
 
     // Leg 2: parallel, trace-based. Must reproduce the CSV byte for byte.
     let t0 = Instant::now();
-    let par_summaries = par_map_indexed(runs, jobs, |i| summarize(&run_one(i)));
+    let par_summaries = par_map_indexed(runs, jobs, |i| summarize(&run_one(i)).expect("summary"));
     let parallel_s = t0.elapsed().as_secs_f64();
     let par_csv = point_csv(&par_summaries);
     assert_eq!(seq_csv, par_csv, "parallel sweep changed the CSV bytes");
@@ -105,7 +105,7 @@ fn main() {
 
     // Leg 3: parallel, streaming fold. Must reproduce every RunSummary.
     let t0 = Instant::now();
-    let stream_summaries = par_map_indexed(runs, jobs, |i| summarize_streaming(&run_one(i)));
+    let stream_summaries = par_map_indexed(runs, jobs, |i| summarize_streaming(&run_one(i)).expect("summary"));
     let streaming_s = t0.elapsed().as_secs_f64();
     assert_eq!(
         seq_summaries, stream_summaries,

@@ -20,7 +20,7 @@ fn bgp3_with_damping() -> ProtocolFactory {
         Box::new(Bgp::with_config(BgpConfig {
             flap_damping: Some(FlapConfig::aggressive()),
             ..BgpConfig::bgp3()
-        }))
+        }).expect("valid config"))
     })
 }
 
@@ -50,9 +50,9 @@ fn main() {
                 cfg.failure = flapping.clone();
                 cfg.traffic.tail = SimDuration::from_secs(60);
                 cfg.protocol_override = factory.clone();
-                summarize_streaming(&run(&cfg).expect("run succeeds"))
+                summarize_streaming(&run(&cfg).expect("run succeeds")).expect("summary")
             });
-            let point = convergence::aggregate::aggregate_point(&summaries);
+            let point = convergence::aggregate::aggregate_point(&summaries).expect("nonempty sweep");
             table.push_row(vec![
                 degree.to_string(),
                 label.to_string(),

@@ -44,11 +44,11 @@ fn main() {
                 cfg.traffic.rate_pps = rate;
                 cfg.traffic.flows = 5;
                 let result = run(&cfg).expect("run succeeds");
-                (summarize_streaming(&result), result.stats.control_messages_lost)
+                (summarize_streaming(&result).expect("summary"), result.stats.control_messages_lost)
             });
             let ctrl_lost: u64 = per_run.iter().map(|(_, lost)| lost).sum();
             let summaries: Vec<_> = per_run.into_iter().map(|(s, _)| s).collect();
-            let point = convergence::aggregate::aggregate_point(&summaries);
+            let point = convergence::aggregate::aggregate_point(&summaries).expect("nonempty sweep");
             let queue_drops: f64 = summaries
                 .iter()
                 .map(|s| s.drops.queue_overflow as f64)

@@ -65,7 +65,7 @@ fn main() {
                 .map(|r| r.stats.control_retransmits)
                 .sum::<u64>() as f64
                 / outcome.completed.len().max(1) as f64;
-            let point = aggregate_point(&outcome.summaries());
+            let point = aggregate_point(&outcome.summaries()).expect("nonempty sweep");
             table.push_row(vec![
                 format!("{:.0}", loss * 100.0),
                 protocol.to_string(),

@@ -40,9 +40,9 @@ fn main() {
                     cols: size,
                     degree: MeshDegree::D8,
                 };
-                summarize_streaming(&run(&cfg).expect("run succeeds"))
+                summarize_streaming(&run(&cfg).expect("run succeeds")).expect("summary")
             });
-            let point = convergence::aggregate::aggregate_point(&summaries);
+            let point = convergence::aggregate::aggregate_point(&summaries).expect("nonempty sweep");
             table.push_row(vec![
                 format!("{size}x{size}"),
                 (size * size).to_string(),

@@ -23,7 +23,7 @@ fn main() {
     );
     for degree in MeshDegree::ALL {
         let mesh = Mesh::regular(7, 7, degree);
-        let stats = degree_stats(mesh.graph());
+        let stats = degree_stats(mesh.graph()).expect("mesh is nonempty");
         table.push_row(vec![
             degree.to_string(),
             mesh.graph().num_edges().to_string(),

@@ -14,6 +14,9 @@
 //! Results are printed as aligned tables and written as CSV under
 //! `results/`.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 use convergence::aggregate::{aggregate_point, PointSummary};
 use convergence::experiment::ExperimentConfig;
 use convergence::metrics::series::{delay_series, throughput_series};
@@ -147,7 +150,8 @@ pub fn sweep_map<T: Send>(
         customize(&mut cfg);
         let result =
             run(&cfg).unwrap_or_else(|e| panic!("{protocol} d{degree} run {i} failed: {e}"));
-        let summary = summarize(&result);
+        let summary = summarize(&result)
+            .unwrap_or_else(|e| panic!("{protocol} d{degree} run {i}: {e}"));
         extract(&result, &summary)
     })
 }
@@ -176,8 +180,9 @@ pub fn sweep_point(
         let result =
             run(&cfg).unwrap_or_else(|e| panic!("{protocol} d{degree} run {i} failed: {e}"));
         summarize_streaming(&result)
+            .unwrap_or_else(|e| panic!("{protocol} d{degree} run {i}: {e}"))
     });
-    aggregate_point(&summaries)
+    aggregate_point(&summaries).expect("nonempty sweep")
 }
 
 /// Per-run series extracted for the Figure 5/7 time plots.

@@ -108,14 +108,19 @@ pub struct FlapDamper {
 impl FlapDamper {
     /// Creates a damper; `None` disables damping entirely.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration is invalid.
-    #[must_use]
-    pub fn new(config: Option<FlapConfig>) -> Self {
+    /// Returns the validation failure message for an invalid
+    /// configuration.
+    pub fn new(config: Option<FlapConfig>) -> Result<Self, String> {
         if let Some(c) = &config {
-            c.validate().expect("invalid flap-damping configuration");
+            c.validate()?;
         }
+        Ok(FlapDamper::from_valid(config))
+    }
+
+    /// Builds a damper from an already-validated configuration.
+    pub(crate) fn from_valid(config: Option<FlapConfig>) -> Self {
         FlapDamper {
             config,
             states: BTreeMap::new(),
@@ -258,12 +263,12 @@ mod tests {
     }
 
     fn damper() -> FlapDamper {
-        FlapDamper::new(Some(FlapConfig::aggressive()))
+        FlapDamper::new(Some(FlapConfig::aggressive())).unwrap()
     }
 
     #[test]
     fn disabled_damper_never_suppresses() {
-        let mut d = FlapDamper::new(None);
+        let mut d = FlapDamper::new(None).unwrap();
         for _ in 0..10 {
             let out = d.record(n(1), n(2), FlapEvent::Withdrawal, SimTime::from_secs(1));
             assert!(!out.suppressed);

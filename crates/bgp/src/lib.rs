@@ -16,8 +16,9 @@
 //! let _fast = Bgp::bgp3();
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
 
 pub mod config;
 pub mod flap;

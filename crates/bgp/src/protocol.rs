@@ -53,25 +53,31 @@ impl Bgp {
     /// A speaker with the RFC-recommended 30 s average MRAI.
     #[must_use]
     pub fn new() -> Self {
-        Bgp::with_config(BgpConfig::standard())
+        Bgp::from_valid(BgpConfig::standard())
     }
 
     /// The study's BGP-3 parameterization (3 s average MRAI).
     #[must_use]
     pub fn bgp3() -> Self {
-        Bgp::with_config(BgpConfig::bgp3())
+        Bgp::from_valid(BgpConfig::bgp3())
     }
 
     /// A speaker with explicit parameters.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration is invalid.
-    #[must_use]
-    pub fn with_config(config: BgpConfig) -> Self {
-        config.validate().expect("invalid BGP configuration");
+    /// Returns the validation failure message for an invalid
+    /// configuration.
+    pub fn with_config(config: BgpConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(Bgp::from_valid(config))
+    }
+
+    /// Builds a speaker from an already-validated configuration (the
+    /// flap-damping parameters were checked by `BgpConfig::validate`).
+    fn from_valid(config: BgpConfig) -> Self {
         Bgp {
-            flap: FlapDamper::new(config.flap_damping),
+            flap: FlapDamper::from_valid(config.flap_damping),
             config,
             adj_in: AdjRibIn::default(),
             loc_rib: Vec::new(),
@@ -115,11 +121,16 @@ impl Bgp {
             return;
         }
         match &best {
-            Some(route) => {
-                ctx.install_route(dest, route.next_hop.expect("learned route has next hop"));
+            Some(BestRoute {
+                next_hop: Some(next),
+                ..
+            }) => {
+                ctx.install_route(dest, *next);
                 self.changed_batch.push(dest);
             }
-            None => {
+            // Learned routes always carry a next hop (and self routes
+            // never reach re_decide); no candidate means withdrawal.
+            _ => {
                 ctx.remove_route(dest);
                 if self.config.damp_withdrawals {
                     self.changed_batch.push(dest);
@@ -365,13 +376,11 @@ impl RoutingProtocol for Bgp {
                     .unwrap_or_default();
                 if !pending.is_empty() && ctx.neighbor_up(neighbor) {
                     self.send_routes(ctx, neighbor, &pending);
-                    let window = self
-                        .dampers
-                        .get_mut(&neighbor)
-                        .expect("damper exists")
-                        .reopen(ctx.rng());
-                    let arg = (self.epoch(neighbor) << 24) | neighbor.index() as u64;
-                    ctx.set_timer(window, TimerToken::compose(timer::MRAI_NEIGHBOR, arg));
+                    if let Some(damper) = self.dampers.get_mut(&neighbor) {
+                        let window = damper.reopen(ctx.rng());
+                        let arg = (self.epoch(neighbor) << 24) | neighbor.index() as u64;
+                        ctx.set_timer(window, TimerToken::compose(timer::MRAI_NEIGHBOR, arg));
+                    }
                 }
             }
             timer::MRAI_PAIR => {
@@ -387,15 +396,13 @@ impl RoutingProtocol for Bgp {
                 let _ = damper.on_window_expired();
                 if self.pair_pending.remove(&(neighbor, dest)) && ctx.neighbor_up(neighbor) {
                     self.send_routes(ctx, neighbor, &[dest]);
-                    let window = self
-                        .pair_dampers
-                        .get_mut(&(neighbor, dest))
-                        .expect("damper exists")
-                        .reopen(ctx.rng());
-                    let arg = (self.epoch(neighbor) << 40)
-                        | ((neighbor.index() as u64) << 20)
-                        | dest.index() as u64;
-                    ctx.set_timer(window, TimerToken::compose(timer::MRAI_PAIR, arg));
+                    if let Some(damper) = self.pair_dampers.get_mut(&(neighbor, dest)) {
+                        let window = damper.reopen(ctx.rng());
+                        let arg = (self.epoch(neighbor) << 40)
+                            | ((neighbor.index() as u64) << 20)
+                            | dest.index() as u64;
+                        ctx.set_timer(window, TimerToken::compose(timer::MRAI_PAIR, arg));
+                    }
                 }
             }
             timer::FLAP_REUSE => {

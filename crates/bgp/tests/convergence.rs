@@ -164,7 +164,7 @@ fn per_destination_mrai_converges_no_slower() {
         Bgp::with_config(BgpConfig {
             mrai_scope: MraiScope::PerNeighborDestination,
             ..BgpConfig::standard()
-        })
+        }).expect("valid config")
     };
     let (mut scoped, mesh) = bgp_mesh(MeshDegree::D4, 7, per_pair);
     scoped.run_until(SimTime::from_secs(900));
@@ -222,7 +222,7 @@ fn damped_withdrawals_ride_the_mrai() {
                 Box::new(Bgp::with_config(bgp::BgpConfig {
                     damp_withdrawals: damp,
                     ..bgp::BgpConfig::standard()
-                })),
+                }).expect("valid config")),
             )
             .unwrap();
         }

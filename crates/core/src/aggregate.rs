@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 use crate::experiment::ExperimentConfig;
 use crate::metrics::streaming::summarize_streaming;
 use crate::metrics::summary::{summarize, RunSummary};
+use crate::metrics::MetricsError;
 use crate::parallel::par_map_indexed;
 use crate::runner::{run, RunError, RunResult};
 
@@ -105,7 +106,7 @@ pub fn run_many_jobs(
         let mut cfg = config.clone();
         cfg.seed = base_seed + i as u64;
         let result = run(&cfg)?;
-        let summary = summarize(&result);
+        let summary = summarize(&result)?;
         Ok((result, summary))
     })
     .into_iter()
@@ -282,16 +283,34 @@ pub fn run_sweep_with(
             match attempt_result {
                 Ok(result) => {
                     let completed = match options.mode {
-                        SweepMode::Trace => CompletedRun {
-                            summary: summarize(&result),
+                        SweepMode::Trace => summarize(&result).map(|summary| CompletedRun {
+                            summary,
                             result: Some(result),
-                        },
-                        SweepMode::Streaming => CompletedRun {
-                            summary: summarize_streaming(&result),
-                            result: None,
-                        },
+                        }),
+                        SweepMode::Streaming => {
+                            summarize_streaming(&result).map(|summary| CompletedRun {
+                                summary,
+                                result: None,
+                            })
+                        }
                     };
-                    break SlotOutcome::Completed(Box::new(completed), retries);
+                    match completed {
+                        Ok(completed) => {
+                            break SlotOutcome::Completed(Box::new(completed), retries)
+                        }
+                        // A metrics failure is a property of the scenario,
+                        // not the draw — report it, never retry it.
+                        Err(e) => {
+                            break SlotOutcome::Failed(
+                                FailedRun {
+                                    seed: slot_seed,
+                                    attempts: attempt + 1,
+                                    error: RunError::from(e),
+                                },
+                                retries,
+                            )
+                        }
+                    }
                 }
                 Err(error) => {
                     if error.is_retryable() && attempt + 1 < max_attempts {
@@ -373,29 +392,28 @@ pub struct PointSummary {
 
 /// Folds per-run summaries into a [`PointSummary`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `summaries` is empty.
-#[must_use]
-pub fn aggregate_point(summaries: &[RunSummary]) -> PointSummary {
+/// [`MetricsError::EmptySweep`] if `summaries` is empty.
+pub fn aggregate_point(summaries: &[RunSummary]) -> Result<PointSummary, MetricsError> {
     let f = |extract: fn(&RunSummary) -> f64| {
         Aggregate::of(&summaries.iter().map(extract).collect::<Vec<f64>>())
-            .expect("cannot aggregate zero run summaries")
+            .ok_or(MetricsError::EmptySweep)
     };
-    PointSummary {
-        drops_no_route: f(|s| s.drops.no_route as f64),
-        ttl_expirations: f(|s| s.drops.ttl_expired as f64),
-        drops_link_down: f(|s| s.drops.link_down as f64),
-        drops_total: f(|s| s.drops.total() as f64),
-        delivery_ratio: f(RunSummary::delivery_ratio),
-        forwarding_convergence_s: f(|s| s.forwarding_convergence_s),
-        routing_convergence_s: f(|s| s.routing_convergence_s),
-        looped_packets: f(|s| s.looped_packets as f64),
-        transient_paths: f(|s| s.transient_paths as f64),
-        control_messages: f(|s| s.control_messages as f64),
-        max_switchover_s: f(|s| s.max_switchover_s),
-        mean_stretch: f(|s| s.mean_stretch),
-    }
+    Ok(PointSummary {
+        drops_no_route: f(|s| s.drops.no_route as f64)?,
+        ttl_expirations: f(|s| s.drops.ttl_expired as f64)?,
+        drops_link_down: f(|s| s.drops.link_down as f64)?,
+        drops_total: f(|s| s.drops.total() as f64)?,
+        delivery_ratio: f(RunSummary::delivery_ratio)?,
+        forwarding_convergence_s: f(|s| s.forwarding_convergence_s)?,
+        routing_convergence_s: f(|s| s.routing_convergence_s)?,
+        looped_packets: f(|s| s.looped_packets as f64)?,
+        transient_paths: f(|s| s.transient_paths as f64)?,
+        control_messages: f(|s| s.control_messages as f64)?,
+        max_switchover_s: f(|s| s.max_switchover_s)?,
+        mean_stretch: f(|s| s.mean_stretch)?,
+    })
 }
 
 #[cfg(test)]

@@ -14,13 +14,14 @@
 //!
 //! let cfg = ExperimentConfig::paper(ProtocolKind::Dbf, MeshDegree::D5, 42);
 //! let result = run(&cfg)?;
-//! let summary = summarize(&result);
+//! let summary = summarize(&result)?;
 //! println!("delivered {}/{} packets", summary.delivered, summary.injected);
 //! # Ok::<(), convergence::runner::RunError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
 
 pub mod aggregate;
 pub mod experiment;
@@ -48,6 +49,7 @@ pub mod prelude {
     pub use netsim::impairment::Impairment;
     pub use crate::metrics::streaming::{summarize_streaming, SummaryObserver};
     pub use crate::metrics::summary::{summarize, RunSummary};
+    pub use crate::metrics::MetricsError;
     pub use crate::parallel::par_map_indexed;
     pub use crate::protocols::ProtocolKind;
     pub use crate::report::Table;

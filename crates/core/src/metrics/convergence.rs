@@ -120,14 +120,11 @@ impl PathHistory {
         self.timeline.len().saturating_sub(1)
     }
 
-    /// The final outcome.
+    /// The final outcome, or `None` for an empty (hand-built) timeline —
+    /// [`path_history`] always seeds the initial path.
     #[must_use]
-    pub fn final_outcome(&self) -> &PathOutcome {
-        &self
-            .timeline
-            .last()
-            .expect("timeline always has the initial path")
-            .1
+    pub fn final_outcome(&self) -> Option<&PathOutcome> {
+        self.timeline.last().map(|(_, outcome)| outcome)
     }
 }
 
@@ -147,21 +144,20 @@ pub fn path_history(
     let mut replay = FibReplay::new(num_nodes);
     let mut events = trace.iter().peekable();
     // Build the pre-failure state.
-    while let Some(e) = events.peek() {
-        if e.time() >= t_fail {
-            break;
-        }
-        replay.apply(events.next().expect("peeked"));
+    while let Some(e) = events.next_if(|e| e.time() < t_fail) {
+        replay.apply(e);
     }
-    let mut timeline = vec![(t_fail, replay.walk(src, dst))];
+    let mut last_outcome = replay.walk(src, dst);
+    let mut timeline = vec![(t_fail, last_outcome.clone())];
     for event in events {
         if !matches!(event, TraceEvent::RouteChanged { .. }) {
             continue;
         }
         replay.apply(event);
         let outcome = replay.walk(src, dst);
-        if outcome != timeline.last().expect("nonempty").1 {
-            timeline.push((event.time(), outcome));
+        if outcome != last_outcome {
+            timeline.push((event.time(), outcome.clone()));
+            last_outcome = outcome;
         }
     }
     PathHistory { timeline }
@@ -246,7 +242,7 @@ mod tests {
         // immediately, so two distinct outcomes then repair steps.
         assert!(matches!(history.timeline[0].1, PathOutcome::Complete(_)));
         assert!(history.transient_path_count() >= 2);
-        assert!(matches!(history.final_outcome(), PathOutcome::Complete(_)));
+        assert!(matches!(history.final_outcome(), Some(PathOutcome::Complete(_))));
         let delay = history.convergence_delay(
             SimTime::from_secs(10),
             SimDuration::from_millis(50),

@@ -4,6 +4,10 @@
 //! in the per-metric modules (the oracle), and the single-pass
 //! [`streaming`] observer used by memory-bounded sweeps.
 
+use std::fmt;
+
+use netsim::ident::NodeId;
+
 pub mod convergence;
 pub mod drops;
 pub mod loops;
@@ -21,3 +25,33 @@ pub use streaming::{summarize_streaming, SummaryObserver};
 pub use stretch::{flow_stretch, mean_stretch, PacketStretch};
 pub use summary::{summarize, RunSummary};
 pub use switchover::{stats_for_dest, switch_overs, SwitchOver, SwitchOverStats};
+
+/// Why a metric could not be computed from a run's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsError {
+    /// The flow's receiver was unreachable even before the failure, so no
+    /// shortest-path baseline (and hence no stretch) exists. Runs produced
+    /// by [`run`](crate::runner::run) never hit this — the warm-up check
+    /// rejects disconnected flows — but hand-built traces can.
+    UnreachableDestination {
+        /// The flow's sender.
+        src: NodeId,
+        /// The unreachable receiver.
+        dst: NodeId,
+    },
+    /// An aggregation was asked to fold zero run summaries.
+    EmptySweep,
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricsError::UnreachableDestination { src, dst } => {
+                write!(f, "receiver {dst} unreachable from {src} before the failure")
+            }
+            MetricsError::EmptySweep => write!(f, "cannot aggregate zero run summaries"),
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}

@@ -27,6 +27,7 @@ use topology::graph::{Edge, Graph};
 use topology::shortest_path::bfs;
 
 use crate::metrics::convergence::{FibReplay, PathOutcome};
+use crate::metrics::MetricsError;
 use crate::metrics::drops::DropCounts;
 use crate::metrics::summary::RunSummary;
 use crate::runner::{Flow, RunResult};
@@ -85,21 +86,24 @@ impl SummaryObserver {
     /// that fail at `t_fail`, the (first) flow being measured and the
     /// configured failure-detection latency.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the flow's receiver is unreachable even before the
-    /// failure (mirroring the trace-based stretch oracle).
-    #[must_use]
+    /// [`MetricsError::UnreachableDestination`] if the flow's receiver is
+    /// unreachable even before the failure (mirroring the trace-based
+    /// stretch oracle).
     pub fn new(
         graph: &Graph,
         failed: &[Edge],
         flow: Flow,
         t_fail: SimTime,
         detection: SimDuration,
-    ) -> Self {
+    ) -> Result<Self, MetricsError> {
         let dist_before = bfs(graph, flow.sender)
             .distance(flow.receiver)
-            .expect("dst reachable before failure");
+            .ok_or(MetricsError::UnreachableDestination {
+                src: flow.sender,
+                dst: flow.receiver,
+            })?;
         let mut degraded = graph.clone();
         for edge in failed {
             degraded = degraded.without_edge(*edge);
@@ -107,7 +111,7 @@ impl SummaryObserver {
         let dist_after = bfs(&degraded, flow.sender)
             .distance(flow.receiver)
             .unwrap_or(dist_before);
-        SummaryObserver {
+        Ok(SummaryObserver {
             flow,
             t_fail,
             detection,
@@ -132,7 +136,7 @@ impl SummaryObserver {
             stretch_sum: 0.0,
             stretch_count: 0,
             last_event_time: None,
-        }
+        })
     }
 
     /// Folds one trace event. Must be called in trace (time) order.
@@ -283,19 +287,22 @@ impl SummaryObserver {
 /// [`summarize`](crate::metrics::summary::summarize) in a single pass
 /// over the trace; used by the streaming sweep mode, where the
 /// [`RunResult`] (and its trace) is dropped right after this call.
-#[must_use]
-pub fn summarize_streaming(result: &RunResult) -> RunSummary {
+///
+/// # Errors
+///
+/// See [`SummaryObserver::new`].
+pub fn summarize_streaming(result: &RunResult) -> Result<RunSummary, MetricsError> {
     let mut observer = SummaryObserver::new(
         &result.graph,
         &result.failure.edges,
         result.flows[0],
         result.t_fail,
         result.detection,
-    );
+    )?;
     for event in &result.trace {
         observer.observe(event);
     }
-    observer.finish(&result.stats)
+    Ok(observer.finish(&result.stats))
 }
 
 #[cfg(test)]
@@ -310,14 +317,17 @@ mod tests {
     #[test]
     fn streaming_equals_trace_oracle_on_a_paper_run() {
         let result = run(&ExperimentConfig::paper(ProtocolKind::Spf, MeshDegree::D4, 3)).unwrap();
-        assert_eq!(summarize_streaming(&result), summarize(&result));
+        assert_eq!(
+            summarize_streaming(&result).unwrap(),
+            summarize(&result).unwrap()
+        );
     }
 
     #[test]
     fn streaming_matches_on_a_low_degree_run() {
         let result = run(&ExperimentConfig::paper(ProtocolKind::Rip, MeshDegree::D3, 5)).unwrap();
-        let stream = summarize_streaming(&result);
-        let oracle = summarize(&result);
+        let stream = summarize_streaming(&result).unwrap();
+        let oracle = summarize(&result).unwrap();
         assert_eq!(stream, oracle);
         // The fold must keep only in-flight packet state, never the trace.
         assert!(stream.injected > 0);

@@ -9,6 +9,8 @@
 use netsim::ident::NodeId;
 use netsim::time::SimTime;
 use netsim::trace::{Trace, TraceEvent};
+
+use crate::metrics::MetricsError;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use topology::graph::{Edge, Graph};
@@ -40,10 +42,10 @@ impl PacketStretch {
 /// an irregular topology, or a flapping link that later recovers), the
 /// pre-failure optimum is used as the baseline for post-failure packets.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `dst` is unreachable even before the failure.
-#[must_use]
+/// [`MetricsError::UnreachableDestination`] if `dst` is unreachable even
+/// before the failure — there is no baseline to measure stretch against.
 pub fn flow_stretch(
     trace: &Trace,
     graph: &Graph,
@@ -51,10 +53,10 @@ pub fn flow_stretch(
     src: NodeId,
     dst: NodeId,
     t_fail: SimTime,
-) -> Vec<PacketStretch> {
+) -> Result<Vec<PacketStretch>, MetricsError> {
     let before = bfs(graph, src)
         .distance(dst)
-        .expect("dst reachable before failure");
+        .ok_or(MetricsError::UnreachableDestination { src, dst })?;
     let mut degraded = graph.clone();
     for edge in failed {
         degraded = degraded.without_edge(*edge);
@@ -84,7 +86,7 @@ pub fn flow_stretch(
             _ => {}
         }
     }
-    out
+    Ok(out)
 }
 
 /// Mean stretch ratio over a slice (1.0 if empty).
@@ -144,7 +146,7 @@ mod tests {
             inject(6_000, 2),
             deliver(6_010, 2, 4), // after failure: optimal still 2 (via 2)
         ]);
-        let s = flow_stretch(&trace, &g, &failed, n(0), n(3), SimTime::from_secs(5));
+        let s = flow_stretch(&trace, &g, &failed, n(0), n(3), SimTime::from_secs(5)).unwrap();
         assert_eq!(s.len(), 2);
         assert!((s[0].ratio() - 1.0).abs() < 1e-9);
         assert!((s[1].ratio() - 2.0).abs() < 1e-9);
@@ -169,7 +171,7 @@ mod tests {
                 sent_at: SimTime::from_millis(1),
             },
         ]);
-        let s = flow_stretch(&trace, &g, &[], n(0), n(3), SimTime::from_secs(5));
+        let s = flow_stretch(&trace, &g, &[], n(0), n(3), SimTime::from_secs(5)).unwrap();
         assert!(s.is_empty());
         assert_eq!(mean_stretch(&s), 1.0);
     }

@@ -8,6 +8,7 @@ use crate::metrics::loops::analyze_loops;
 use crate::metrics::series::mean_delay;
 use crate::metrics::stretch::{flow_stretch, mean_stretch};
 use crate::metrics::switchover::{stats_for_dest, switch_overs};
+use crate::metrics::MetricsError;
 use crate::runner::RunResult;
 
 /// Every scalar metric the paper reports, for one run.
@@ -57,6 +58,12 @@ impl RunSummary {
 
 /// Computes the full summary of a finished run.
 ///
+/// # Errors
+///
+/// [`MetricsError::UnreachableDestination`] if the first flow's receiver
+/// was unreachable even before the failure; never for results produced by
+/// [`run`](crate::runner::run), whose warm-up check rejects such flows.
+///
 /// # Examples
 ///
 /// ```
@@ -67,12 +74,11 @@ impl RunSummary {
 /// use topology::mesh::MeshDegree;
 ///
 /// let result = run(&ExperimentConfig::paper(ProtocolKind::Spf, MeshDegree::D6, 2))?;
-/// let summary = summarize(&result);
+/// let summary = summarize(&result)?;
 /// assert!(summary.delivery_ratio() > 0.9);
-/// # Ok::<(), convergence::runner::RunError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[must_use]
-pub fn summarize(result: &RunResult) -> RunSummary {
+pub fn summarize(result: &RunResult) -> Result<RunSummary, MetricsError> {
     let drops = count_drops(&result.trace);
     let loops = analyze_loops(&result.trace);
     let flow = result.flows[0];
@@ -97,8 +103,8 @@ pub fn summarize(result: &RunResult) -> RunSummary {
         flow.sender,
         flow.receiver,
         result.t_fail,
-    );
-    RunSummary {
+    )?;
+    Ok(RunSummary {
         injected: result.stats.packets_injected,
         delivered: count_delivered(&result.trace),
         drops,
@@ -116,7 +122,7 @@ pub fn summarize(result: &RunResult) -> RunSummary {
         mean_stretch: mean_stretch(&stretch),
         control_messages: result.stats.control_messages_sent,
         control_bytes: result.stats.control_bytes_sent,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -68,7 +68,12 @@ where
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .flat_map(|h| match h.join() {
+                Ok(slots) => slots,
+                // Re-raise the worker's panic on the calling thread with
+                // its original payload instead of a generic expect.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
     tagged.sort_unstable_by_key(|(i, _)| *i);

@@ -15,6 +15,7 @@ use topology::instantiate::to_simulator_builder;
 
 use crate::experiment::{ExperimentConfig, TrafficMode};
 use crate::failure::{choose_failure, FailureSelection, SelectionError};
+use crate::metrics::MetricsError;
 use crate::transport::{GoBackNSink, GoBackNSource, WindowFlowReport};
 
 /// One sender/receiver pair.
@@ -85,6 +86,9 @@ pub enum RunError {
     /// Produced only by sweep-level isolation
     /// ([`crate::aggregate::run_sweep`]), never by [`run`] itself.
     Panicked(String),
+    /// The run finished but its trace could not be summarized. Produced
+    /// by the sweep drivers that fold metrics, never by [`run`] itself.
+    Metrics(MetricsError),
 }
 
 impl fmt::Display for RunError {
@@ -109,6 +113,7 @@ impl fmt::Display for RunError {
                 write!(f, "no go-back-N source agent on {node} after the run")
             }
             RunError::Panicked(msg) => write!(f, "run panicked: {msg}"),
+            RunError::Metrics(e) => write!(f, "summarizing the run failed: {e}"),
         }
     }
 }
@@ -124,6 +129,12 @@ impl From<BuildError> for RunError {
 impl From<SelectionError> for RunError {
     fn from(e: SelectionError) -> Self {
         RunError::Selection(e)
+    }
+}
+
+impl From<MetricsError> for RunError {
+    fn from(e: MetricsError) -> Self {
+        RunError::Metrics(e)
     }
 }
 

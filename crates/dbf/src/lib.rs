@@ -16,8 +16,9 @@
 //! assert_eq!(instance.name(), "dbf");
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
 
 pub mod cache;
 pub mod config;

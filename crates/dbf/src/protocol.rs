@@ -49,17 +49,22 @@ impl Dbf {
     /// Creates an instance with the paper's default parameters.
     #[must_use]
     pub fn new() -> Self {
-        Dbf::with_config(DbfConfig::default())
+        Dbf::from_valid(DbfConfig::default())
     }
 
     /// Creates an instance with explicit parameters.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration is invalid.
-    #[must_use]
-    pub fn with_config(config: DbfConfig) -> Self {
-        config.validate().expect("invalid DBF configuration");
+    /// Returns the validation failure message for an invalid
+    /// configuration.
+    pub fn with_config(config: DbfConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(Dbf::from_valid(config))
+    }
+
+    /// Builds an instance from an already-validated configuration.
+    fn from_valid(config: DbfConfig) -> Self {
         Dbf {
             scheduler: TriggeredScheduler::new(
                 config.damping_mode,
@@ -102,8 +107,13 @@ impl Dbf {
         *slot = best;
         self.changed[dest.index()] = true;
         match best {
-            Some(route) => ctx.install_route(dest, route.next_hop.expect("non-self route")),
-            None => ctx.remove_route(dest),
+            Some(SelectedRoute {
+                next_hop: Some(next),
+                ..
+            }) => ctx.install_route(dest, next),
+            // No candidate — or (unreachably, self routes never get here)
+            // one without a next hop, which cannot be forwarded to either.
+            _ => ctx.remove_route(dest),
         }
     }
 

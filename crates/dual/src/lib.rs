@@ -21,8 +21,9 @@
 //! assert_eq!(Dual::new().name(), "dual");
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
 
 pub mod message;
 pub mod protocol;

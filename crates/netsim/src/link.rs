@@ -187,21 +187,15 @@ impl Channel {
 
     /// Completes the in-progress transmission, returning the transmitted
     /// frame and, if another frame starts serializing, its delay.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no transmission is in progress.
-    pub(crate) fn finish_transmit(&mut self) -> (Frame, Option<SimDuration>) {
-        let done = self
-            .transmitting
-            .take()
-            .expect("finish_transmit called on idle channel");
+    /// Returns `None` when no transmission is in progress.
+    pub(crate) fn finish_transmit(&mut self) -> Option<(Frame, Option<SimDuration>)> {
+        let done = self.transmitting.take()?;
         let next_delay = self.queue.pop_front().map(|next| {
             let d = self.config.serialization_delay(next.size_bytes());
             self.transmitting = Some(next);
             d
         });
-        (done, next_delay)
+        Some((done, next_delay))
     }
 
     /// Drops all queued and in-flight state (used on link failure to model
@@ -329,9 +323,9 @@ mod tests {
         let mut ch = channel(4);
         ch.offer(data_frame(1250));
         ch.offer(data_frame(2500));
-        let (_done, next) = ch.finish_transmit();
+        let (_done, next) = ch.finish_transmit().unwrap();
         assert_eq!(next, Some(SimDuration::from_millis(2)));
-        let (_done, next) = ch.finish_transmit();
+        let (_done, next) = ch.finish_transmit().unwrap();
         assert_eq!(next, None);
     }
 

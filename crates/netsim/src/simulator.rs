@@ -1,7 +1,7 @@
 //! The simulation engine: world assembly, the event loop, the data plane
 //! and the protocol context.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::app::AppAgent;
 use crate::error::{BuildError, EventBudgetExceeded};
@@ -261,7 +261,7 @@ impl SimulatorBuilder {
             protocols: (0..n).map(|_| None).collect(),
             apps: (0..n).map(|_| None).collect(),
             queue: EventQueue::new(),
-            timers: HashMap::new(),
+            timers: BTreeMap::new(),
             next_timer: 0,
             next_packet: 0,
             rng: SimRng::seed_from(self.seed),
@@ -285,7 +285,7 @@ pub struct Simulator {
     protocols: Vec<Option<Box<dyn RoutingProtocol>>>,
     apps: Vec<Option<Box<dyn AppAgent>>>,
     queue: EventQueue,
-    timers: HashMap<u64, (NodeId, TimerToken, TimerTarget)>,
+    timers: BTreeMap<u64, (NodeId, TimerToken, TimerTarget)>,
     next_timer: u64,
     next_packet: u64,
     rng: SimRng,
@@ -633,7 +633,9 @@ impl Simulator {
             if t > until {
                 break;
             }
-            let (_, kind) = self.queue.pop().expect("peeked event vanished");
+            let Some((_, kind)) = self.queue.pop() else {
+                break;
+            };
             self.stats.events_processed += 1;
             self.handle(kind);
         }
@@ -670,7 +672,9 @@ impl Simulator {
                     at: self.now(),
                 });
             }
-            let (_, kind) = self.queue.pop().expect("peeked event vanished");
+            let Some((_, kind)) = self.queue.pop() else {
+                break;
+            };
             self.stats.events_processed += 1;
             self.handle(kind);
         }
@@ -780,7 +784,12 @@ impl Simulator {
             // failure; the frame was already accounted as lost.
             return;
         }
-        let (frame, next_delay) = ch.finish_transmit();
+        let Some((frame, next_delay)) = ch.finish_transmit() else {
+            // Stale serialization event for an already-idle channel; the
+            // epoch guard above makes this unreachable, but an idle
+            // channel is simply nothing to deliver, not a crash.
+            return;
+        };
         if let Some(d) = next_delay {
             let epoch = ch.epoch;
             self.queue

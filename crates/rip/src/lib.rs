@@ -19,8 +19,9 @@
 //! assert_eq!(instance.name(), "rip");
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
 
 pub mod config;
 pub mod protocol;

@@ -128,17 +128,22 @@ impl Rip {
     /// Creates an instance with the paper's default parameters.
     #[must_use]
     pub fn new() -> Self {
-        Rip::with_config(RipConfig::default())
+        Rip::from_valid(RipConfig::default())
     }
 
     /// Creates an instance with explicit parameters.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration is invalid.
-    #[must_use]
-    pub fn with_config(config: RipConfig) -> Self {
-        config.validate().expect("invalid RIP configuration");
+    /// Returns the validation failure message for an invalid
+    /// configuration.
+    pub fn with_config(config: RipConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(Rip::from_valid(config))
+    }
+
+    /// Builds an instance from an already-validated configuration.
+    fn from_valid(config: RipConfig) -> Self {
         Rip {
             scheduler: TriggeredScheduler::new(
                 config.damping_mode,
@@ -283,7 +288,9 @@ impl Rip {
             }
             EntryDecision::UpdateInPlace => {
                 if offered.is_finite() {
-                    let route = self.table.get_mut(dest).expect("route exists");
+                    let Some(route) = self.table.get_mut(dest) else {
+                        return; // decision implies an entry; nothing to update
+                    };
                     route.metric = offered;
                     route.changed = true;
                     self.refresh_timeout(ctx, dest);
@@ -301,7 +308,9 @@ impl Rip {
                 }
             }
             EntryDecision::Switch => {
-                let route = self.table.get_mut(dest).expect("route exists");
+                let Some(route) = self.table.get_mut(dest) else {
+                    return; // decision implies an entry; nothing to switch
+                };
                 route.metric = offered;
                 route.next_hop = Some(from);
                 route.changed = true;

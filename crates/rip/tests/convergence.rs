@@ -141,7 +141,7 @@ fn faster_periodic_interval_converges_faster() {
         builder.seed(3);
         let mut sim = builder.build().unwrap();
         for node in mesh.graph().nodes() {
-            sim.install_protocol(node, Box::new(Rip::with_config(config)))
+            sim.install_protocol(node, Box::new(Rip::with_config(config).expect("valid config")))
                 .unwrap();
         }
         sim.start();
@@ -259,7 +259,7 @@ fn hold_down_delays_recovery_without_adding_loops() {
             ..RipConfig::default()
         };
         for node in mesh.graph().nodes() {
-            sim.install_protocol(node, Box::new(Rip::with_config(config)))
+            sim.install_protocol(node, Box::new(Rip::with_config(config).expect("valid config")))
                 .unwrap();
         }
         sim.start();

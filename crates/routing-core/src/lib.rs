@@ -6,8 +6,9 @@
 //! triggered-update/MRAI hold-down state machine ([`damping`]) and the
 //! 25-entry distance-vector wire format ([`message`]).
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
 
 pub mod damping;
 pub mod message;

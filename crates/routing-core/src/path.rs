@@ -78,10 +78,11 @@ impl AsPath {
         self.hops.first().copied()
     }
 
-    /// The originating AS.
+    /// The originating AS, or `None` for an empty path (constructors
+    /// always produce at least the origin hop).
     #[must_use]
-    pub fn origin_as(&self) -> NodeId {
-        *self.hops.last().expect("AS path is never empty")
+    pub fn origin_as(&self) -> Option<NodeId> {
+        self.hops.last().copied()
     }
 
     /// The hop sequence, most recent first.
@@ -124,7 +125,7 @@ mod tests {
         let p = AsPath::origin(n(5)).prepended(n(3)).prepended(n(1));
         assert_eq!(p.hops(), &[n(1), n(3), n(5)]);
         assert_eq!(p.len(), 3);
-        assert_eq!(p.origin_as(), n(5));
+        assert_eq!(p.origin_as(), Some(n(5)));
         assert_eq!(p.first(), Some(n(1)));
     }
 

@@ -12,8 +12,9 @@
 //! assert_eq!(Spf::new().name(), "spf");
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
 
 pub mod lsdb;
 pub mod protocol;

@@ -21,20 +21,15 @@ pub struct DegreeStats {
     pub mean: f64,
 }
 
-/// Computes degree statistics.
-///
-/// # Panics
-///
-/// Panics if the graph has no nodes.
+/// Computes degree statistics, or `None` for a graph with no nodes.
 #[must_use]
-pub fn degree_stats(graph: &Graph) -> DegreeStats {
-    assert!(graph.num_nodes() > 0, "empty graph");
+pub fn degree_stats(graph: &Graph) -> Option<DegreeStats> {
     let degrees: Vec<usize> = graph.nodes().map(|n| graph.degree(n)).collect();
-    DegreeStats {
-        min: *degrees.iter().min().expect("nonempty"),
-        max: *degrees.iter().max().expect("nonempty"),
+    Some(DegreeStats {
+        min: *degrees.iter().min()?,
+        max: *degrees.iter().max()?,
         mean: degrees.iter().sum::<usize>() as f64 / degrees.len() as f64,
-    }
+    })
 }
 
 /// Mean hop distance over all ordered reachable pairs, or `None` if the
@@ -109,7 +104,7 @@ mod tests {
     #[test]
     fn degree_stats_on_grid() {
         let mesh = Mesh::regular(7, 7, MeshDegree::D4);
-        let stats = degree_stats(mesh.graph());
+        let stats = degree_stats(mesh.graph()).unwrap();
         assert_eq!(stats.min, 2); // corners
         assert_eq!(stats.max, 4); // interior
         assert!(stats.mean > 2.0 && stats.mean < 4.0);

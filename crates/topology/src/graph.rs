@@ -34,19 +34,16 @@ impl Edge {
         }
     }
 
-    /// Given one endpoint, returns the other.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n` is not an endpoint.
+    /// Given one endpoint, returns the other; `None` if `n` is not an
+    /// endpoint.
     #[must_use]
-    pub fn other(&self, n: NodeId) -> NodeId {
+    pub fn other(&self, n: NodeId) -> Option<NodeId> {
         if n == self.a {
-            self.b
+            Some(self.b)
         } else if n == self.b {
-            self.a
+            Some(self.a)
         } else {
-            panic!("{n} is not an endpoint of {self:?}")
+            None
         }
     }
 }
@@ -214,14 +211,9 @@ mod tests {
     #[test]
     fn edge_other_returns_opposite_endpoint() {
         let e = Edge::new(n(3), n(1));
-        assert_eq!(e.other(n(1)), n(3));
-        assert_eq!(e.other(n(3)), n(1));
-    }
-
-    #[test]
-    #[should_panic(expected = "not an endpoint")]
-    fn edge_other_panics_for_stranger() {
-        let _ = Edge::new(n(0), n(1)).other(n(2));
+        assert_eq!(e.other(n(1)), Some(n(3)));
+        assert_eq!(e.other(n(3)), Some(n(1)));
+        assert_eq!(e.other(n(2)), None);
     }
 
     #[test]

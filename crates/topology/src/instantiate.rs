@@ -1,6 +1,6 @@
 //! Turning an abstract [`Graph`] into a simulated network.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use netsim::error::BuildError;
 use netsim::ident::LinkId;
@@ -35,10 +35,10 @@ use crate::graph::{Edge, Graph};
 pub fn to_simulator_builder(
     graph: &Graph,
     config: LinkConfig,
-) -> Result<(SimulatorBuilder, HashMap<Edge, LinkId>), BuildError> {
+) -> Result<(SimulatorBuilder, BTreeMap<Edge, LinkId>), BuildError> {
     let mut builder = SimulatorBuilder::new();
     builder.add_nodes(graph.num_nodes());
-    let mut mapping = HashMap::with_capacity(graph.num_edges());
+    let mut mapping = BTreeMap::new();
     for edge in graph.edges() {
         let link = builder.add_link(edge.a, edge.b, config)?;
         mapping.insert(edge, link);

@@ -15,8 +15,9 @@
 //! assert!(sp.distance(mesh.node_at(6, 3)).unwrap() <= 6);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
 
 pub mod analysis;
 pub mod graph;

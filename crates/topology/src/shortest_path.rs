@@ -83,7 +83,9 @@ pub fn bfs(graph: &Graph, source: NodeId) -> ShortestPaths {
     dist[source.index()] = Some(0);
     let mut queue = VecDeque::from([source]);
     while let Some(at) = queue.pop_front() {
-        let d = dist[at.index()].expect("queued node has distance");
+        let Some(d) = dist[at.index()] else {
+            continue; // queued nodes always have a distance
+        };
         // Sort for deterministic parent assignment regardless of insertion
         // order.
         let mut neighbors: Vec<NodeId> = graph.neighbors(at).to_vec();

@@ -41,10 +41,10 @@ fn main() -> Result<(), RunError> {
         let summaries: Vec<RunSummary> = (0..runs)
             .map(|i| {
                 let cfg = ExperimentConfig::paper(protocol, degree, 4242 + i as u64);
-                run(&cfg).map(|r| summarize(&r))
+                run(&cfg).and_then(|r| summarize(&r).map_err(RunError::from))
             })
             .collect::<Result<_, _>>()?;
-        let point = convergence::aggregate::aggregate_point(&summaries);
+        let point = convergence::aggregate::aggregate_point(&summaries)?;
         table.push_row(vec![
             protocol.label().to_string(),
             format!("{:.2}", 100.0 * point.delivery_ratio.mean),

@@ -145,7 +145,7 @@ fn main() -> Result<(), RunError> {
             let mut cfg = ExperimentConfig::paper(protocol, MeshDegree::D4, 900 + seed);
             cfg.protocol_override = factory.clone();
             let result = run(&cfg)?;
-            let s = summarize(&result);
+            let s = summarize(&result)?;
             delivered += s.delivered;
             injected += s.injected;
             loops += s.looped_packets;

@@ -27,10 +27,10 @@ fn main() -> Result<(), RunError> {
             let summaries: Vec<RunSummary> = (0..runs)
                 .map(|i| {
                     let cfg = ExperimentConfig::paper(protocol, degree, 1000 + i as u64);
-                    run(&cfg).map(|r| summarize(&r))
+                    run(&cfg).and_then(|r| summarize(&r).map_err(RunError::from))
                 })
                 .collect::<Result<_, _>>()?;
-            let point = aggregate_point(&summaries);
+            let point = aggregate_point(&summaries)?;
             table.push_row(vec![
                 degree.to_string(),
                 protocol.label().to_string(),

@@ -13,7 +13,7 @@ fn main() -> Result<(), RunError> {
     // sender->receiver path fails, 20 packets/s flow through it.
     let config = ExperimentConfig::paper(ProtocolKind::Dbf, MeshDegree::D5, 42);
     let result = run(&config)?;
-    let summary = summarize(&result);
+    let summary = summarize(&result)?;
 
     let flow = result.flows[0];
     println!("protocol        : {}", config.protocol);

@@ -11,6 +11,8 @@
 //! * [`rip`], [`dbf`], [`bgp`], [`spf`] — the routing protocols,
 //! * [`convergence`] — the experiment harness and metrics.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub use bgp;

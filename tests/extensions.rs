@@ -16,7 +16,7 @@ fn spf_outconverges_every_distance_vector_protocol() {
         (0..5u64)
             .map(|seed| {
                 let cfg = ExperimentConfig::paper(protocol, MeshDegree::D3, 50 + seed);
-                summarize(&run(&cfg).expect("run succeeds")).routing_convergence_s
+                summarize(&run(&cfg).expect("run succeeds")).expect("summary").routing_convergence_s
             })
             .sum::<f64>()
             / 5.0
@@ -38,7 +38,7 @@ fn multiple_flows_share_one_failure() {
     cfg.traffic.flows = 4;
     let result = run(&cfg).expect("run succeeds");
     assert_eq!(result.flows.len(), 4);
-    let s = summarize(&result);
+    let s = summarize(&result).expect("summary");
     // 4 flows x 20 pps x 50 s window.
     assert_eq!(s.injected, 4 * 1000);
     assert_eq!(s.injected, s.delivered + s.drops.total());
@@ -58,7 +58,7 @@ fn double_link_failure_never_partitions() {
         }
         assert!(degraded.is_connected(), "seed {seed} partitioned the mesh");
         // SPF reroutes around both failures.
-        let s = summarize(&result);
+        let s = summarize(&result).expect("summary");
         assert!(s.delivery_ratio() > 0.95, "seed {seed}: {}", s.delivery_ratio());
     }
 }
@@ -89,7 +89,7 @@ fn random_topologies_run_end_to_end() {
     cfg.topology = TopologySpec::Custom(graph);
     cfg.failure = FailurePlan::None; // random graphs may have bridges
     let result = run(&cfg).expect("run succeeds");
-    let s = summarize(&result);
+    let s = summarize(&result).expect("summary");
     assert_eq!(s.drops.total(), 0);
     assert_eq!(s.delivered, s.injected);
 }
@@ -112,7 +112,7 @@ fn waxman_topology_with_failure() {
         if !graph.without_edge(edge).is_connected() {
             continue; // bridge failed; the flow legitimately dies
         }
-        let s = summarize(&result);
+        let s = summarize(&result).expect("summary");
         assert!(
             s.delivery_ratio() > 0.9,
             "seed {seed}: delivery {}",
@@ -128,7 +128,7 @@ fn no_failure_baseline_is_perfect_for_all_protocols() {
     for protocol in ProtocolKind::ALL {
         let mut cfg = ExperimentConfig::paper(protocol, MeshDegree::D4, 77);
         cfg.failure = FailurePlan::None;
-        let s = summarize(&run(&cfg).expect("run succeeds"));
+        let s = summarize(&run(&cfg).expect("run succeeds")).expect("summary");
         assert_eq!(s.drops.total(), 0, "{protocol} dropped packets with no failure");
         assert_eq!(s.routing_convergence_s, 0.0);
         assert_eq!(s.transient_paths, 0);

@@ -30,7 +30,7 @@ fn rip_converges_despite_heavy_background_loss() {
         Impairment::lossy(0.20),
     );
     let result = run(&cfg).expect("run succeeds under loss");
-    let s = summarize(&result);
+    let s = summarize(&result).expect("summary");
     assert!(result.stats.frames_impaired > 0, "loss must actually fire");
     // Loss is per hop: a 6-12 hop path survives with 0.8^hops, i.e. only
     // 7-26% of packets arrive. Delivery degrades gracefully; the real
@@ -55,7 +55,7 @@ fn dbf_converges_despite_background_loss() {
         Impairment::lossy(0.10),
     );
     let result = run(&cfg).expect("run succeeds under loss");
-    let s = summarize(&result);
+    let s = summarize(&result).expect("summary");
     assert!(result.stats.frames_impaired > 0);
     // 10% per-hop loss over 6-12 hops leaves 0.9^hops = 28-53% delivery.
     assert!(s.delivery_ratio() > 0.2, "got {:.2}", s.delivery_ratio());
@@ -80,7 +80,7 @@ fn bgp_reliable_control_is_retransmitted_not_lost() {
         lossy_run.stats.control_retransmits > 0,
         "15% loss must force reliable-frame retransmissions"
     );
-    let s = summarize(&lossy_run);
+    let s = summarize(&lossy_run).expect("summary");
     assert!(
         s.routing_convergence_s.is_finite(),
         "BGP-3 must still converge; updates are delayed, not dropped"
@@ -91,7 +91,7 @@ fn bgp_reliable_control_is_retransmitted_not_lost() {
 fn impairment_drops_preserve_packet_conservation() {
     for protocol in [ProtocolKind::Rip, ProtocolKind::Bgp3, ProtocolKind::Spf] {
         let cfg = impaired_config(protocol, MeshDegree::D4, 14, Impairment::lossy(0.15));
-        let s = summarize(&run(&cfg).expect("run succeeds"));
+        let s = summarize(&run(&cfg).expect("run succeeds")).expect("summary");
         assert!(s.drops.impaired > 0, "{protocol}: expected impairment drops");
         assert_eq!(
             s.injected,
@@ -115,7 +115,7 @@ fn impaired_runs_are_deterministic() {
         a.trace.iter().eq(b.trace.iter()),
         "impaired traces must be identical event-for-event"
     );
-    assert_eq!(summarize(&a), summarize(&b));
+    assert_eq!(summarize(&a).expect("summary"), summarize(&b).expect("summary"));
 }
 
 #[test]
@@ -124,7 +124,7 @@ fn clean_runs_never_touch_the_impairment_stream() {
     let result = run(&cfg).expect("run succeeds");
     assert_eq!(result.stats.frames_impaired, 0);
     assert_eq!(result.stats.control_retransmits, 0);
-    assert_eq!(summarize(&result).drops.impaired, 0);
+    assert_eq!(summarize(&result).expect("summary").drops.impaired, 0);
 }
 
 #[test]
@@ -153,7 +153,7 @@ fn node_crash_restart_recovers_with_cold_state() {
         })
         .expect("NodeRestarted event present");
     assert_eq!(reboot_at, result.t_fail + SimDuration::from_secs(10));
-    let s = summarize(&result);
+    let s = summarize(&result).expect("summary");
     assert!(
         s.routing_convergence_s.is_finite(),
         "routing must absorb the crash and the cold rejoin"
@@ -171,7 +171,7 @@ fn node_crash_restart_is_reproducible() {
     let b = run(&cfg).expect("second run");
     assert!(a.trace.iter().eq(b.trace.iter()));
     assert_eq!(a.failure.restart, b.failure.restart);
-    assert_eq!(summarize(&a), summarize(&b));
+    assert_eq!(summarize(&a).expect("summary"), summarize(&b).expect("summary"));
 }
 
 #[test]
@@ -195,7 +195,7 @@ fn lossy_period_plan_impairs_then_heals_without_link_events() {
         result.stats.frames_impaired > 0,
         "50% loss on the live path must bite"
     );
-    assert!(summarize(&result).delivered > 0);
+    assert!(summarize(&result).expect("summary").delivered > 0);
 }
 
 #[test]

@@ -24,10 +24,10 @@ fn run_flapping(damping: bool, seed: u64) -> RunSummary {
             Box::new(Bgp::with_config(BgpConfig {
                 flap_damping: Some(FlapConfig::aggressive()),
                 ..BgpConfig::bgp3()
-            }))
+            }).expect("valid config"))
         }));
     }
-    summarize(&run(&cfg).expect("run succeeds"))
+    summarize(&run(&cfg).expect("run succeeds")).expect("summary")
 }
 
 #[test]
@@ -80,10 +80,10 @@ fn single_failure_is_unaffected_by_damping() {
                 Box::new(Bgp::with_config(BgpConfig {
                     flap_damping: Some(FlapConfig::aggressive()),
                     ..BgpConfig::bgp3()
-                }))
+                }).expect("valid config"))
             }));
         }
-        summarize(&run(&cfg).expect("run succeeds"))
+        summarize(&run(&cfg).expect("run succeeds")).expect("summary")
     };
     let off = run_once(false);
     let on = run_once(true);

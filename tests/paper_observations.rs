@@ -12,10 +12,10 @@ fn point(protocol: ProtocolKind, degree: MeshDegree) -> convergence::aggregate::
     let summaries: Vec<RunSummary> = (0..RUNS)
         .map(|i| {
             let cfg = ExperimentConfig::paper(protocol, degree, 7000 + i as u64);
-            summarize(&run(&cfg).expect("run succeeds"))
+            summarize(&run(&cfg).expect("run succeeds")).expect("summary")
         })
         .collect();
-    aggregate_point(&summaries)
+    aggregate_point(&summaries).expect("nonempty sweep")
 }
 
 #[test]
@@ -134,8 +134,8 @@ fn observation_5_convergence_era_packets_take_longer_paths() {
 #[test]
 fn whole_pipeline_is_deterministic() {
     let cfg = ExperimentConfig::paper(ProtocolKind::Bgp, MeshDegree::D5, 31415);
-    let a = summarize(&run(&cfg).expect("first run"));
-    let b = summarize(&run(&cfg).expect("second run"));
+    let a = summarize(&run(&cfg).expect("first run")).expect("summary");
+    let b = summarize(&run(&cfg).expect("second run")).expect("summary");
     assert_eq!(a, b);
 }
 
@@ -144,7 +144,7 @@ fn packet_conservation_across_protocols() {
     for protocol in ProtocolKind::ALL {
         let cfg = ExperimentConfig::paper(protocol, MeshDegree::D4, 99);
         let result = run(&cfg).expect("run succeeds");
-        let s = summarize(&result);
+        let s = summarize(&result).expect("summary");
         assert_eq!(
             s.injected,
             s.delivered + s.drops.total(),

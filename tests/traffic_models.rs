@@ -11,7 +11,7 @@ fn poisson_traffic_delivers_like_cbr_on_average() {
     let run_mode = |mode: TrafficMode, seed: u64| {
         let mut cfg = ExperimentConfig::paper(ProtocolKind::Dbf, MeshDegree::D6, seed);
         cfg.traffic.mode = mode;
-        summarize(&run(&cfg).expect("run succeeds"))
+        summarize(&run(&cfg).expect("run succeeds")).expect("summary")
     };
     let mut cbr_total = 0u64;
     let mut poisson_total = 0u64;
