@@ -9,7 +9,7 @@
 //! contradicting the paper's Observation 2 and thereby justifying the
 //! default.
 
-use bench::{sweep_args, SweepArgs, sweep_point};
+use bench::{sweep_args, sweep_point_observed, SweepArgs, SweepObserver};
 use convergence::experiment::ProtocolFactory;
 use convergence::protocols::ProtocolKind;
 use convergence::report::{fmt_f64, Table};
@@ -35,7 +35,9 @@ fn with_mode(kind: ProtocolKind, mode: DampingMode) -> ProtocolFactory {
 }
 
 fn main() {
-    let SweepArgs { runs, jobs } = sweep_args();
+    let args = sweep_args();
+    let SweepArgs { runs, jobs, .. } = args;
+    let mut observer = SweepObserver::new("ablation_damping", args);
     println!("Ablation A4 — triggered-update damping semantics, {runs} runs/point\n");
 
     let mut table = Table::new(
@@ -49,9 +51,16 @@ fn main() {
                 ("first-immediate", DampingMode::FirstImmediate),
                 ("delayed-flush", DampingMode::DelayedFlush),
             ] {
-                let point = sweep_point(kind, degree, runs, jobs, &|cfg| {
-                    cfg.protocol_override = Some(with_mode(kind, mode));
-                });
+                let point = sweep_point_observed(
+                    kind,
+                    degree,
+                    runs,
+                    jobs,
+                    &|cfg| {
+                        cfg.protocol_override = Some(with_mode(kind, mode));
+                    },
+                    &mut observer,
+                );
                 table.push_row(vec![
                     kind.label().to_string(),
                     degree.to_string(),
@@ -70,4 +79,6 @@ fn main() {
     let path = bench::results_dir().join("ablation_damping.csv");
     table.write_csv(&path).expect("write CSV");
     println!("wrote {}", path.display());
+    let tpath = observer.finish().expect("write telemetry");
+    println!("wrote {}", tpath.display());
 }

@@ -7,7 +7,7 @@
 //! RIP is already nearly loop-free via fast poison; hold-down's remaining
 //! effect should be almost purely additional packet loss.
 
-use bench::{sweep_args, SweepArgs, sweep_point};
+use bench::{sweep_args, sweep_point_observed, SweepArgs, SweepObserver};
 use convergence::experiment::ProtocolFactory;
 use convergence::protocols::ProtocolKind;
 use convergence::report::{fmt_f64, Table};
@@ -25,7 +25,9 @@ fn rip_with_holddown(secs: u64) -> ProtocolFactory {
 }
 
 fn main() {
-    let SweepArgs { runs, jobs } = sweep_args();
+    let args = sweep_args();
+    let SweepArgs { runs, jobs, .. } = args;
+    let mut observer = SweepObserver::new("ablation_holddown", args);
     println!("Ablation A5 — RIP hold-down timer, {runs} runs/point\n");
 
     let mut table = Table::new(
@@ -39,9 +41,16 @@ fn main() {
             ("15 s", Some(rip_with_holddown(15))),
             ("60 s", Some(rip_with_holddown(60))),
         ] {
-            let point = sweep_point(ProtocolKind::Rip, degree, runs, jobs, &|cfg| {
-                cfg.protocol_override = factory.clone();
-            });
+            let point = sweep_point_observed(
+                ProtocolKind::Rip,
+                degree,
+                runs,
+                jobs,
+                &|cfg| {
+                    cfg.protocol_override = factory.clone();
+                },
+                &mut observer,
+            );
             table.push_row(vec![
                 degree.to_string(),
                 label.to_string(),
@@ -60,4 +69,6 @@ fn main() {
     let path = bench::results_dir().join("ablation_holddown.csv");
     table.write_csv(&path).expect("write CSV");
     println!("wrote {}", path.display());
+    let tpath = observer.finish().expect("write telemetry");
+    println!("wrote {}", tpath.display());
 }

@@ -8,7 +8,7 @@
 //! on a per (neighbor, destination) basis". This binary measures that
 //! difference.
 
-use bench::{sweep_args, SweepArgs, sweep_point};
+use bench::{sweep_args, sweep_point_observed, SweepArgs, SweepObserver};
 use bgp::{Bgp, BgpConfig, MraiScope};
 use convergence::experiment::ExperimentConfig;
 use convergence::protocols::ProtocolKind;
@@ -16,7 +16,9 @@ use convergence::report::{fmt_f64, Table};
 use topology::mesh::MeshDegree;
 
 fn main() {
-    let SweepArgs { runs, jobs } = sweep_args();
+    let args = sweep_args();
+    let SweepArgs { runs, jobs, .. } = args;
+    let mut observer = SweepObserver::new("ablation_mrai", args);
     println!("Ablation A1 — MRAI scope (BGP, 30 s mean), {runs} runs/point\n");
     // We cannot switch the scope through ProtocolKind, so runs are driven
     // through a custom protocol hook: ExperimentConfig carries the kind,
@@ -36,16 +38,24 @@ fn main() {
         .to_vec(),
     );
     for degree in [MeshDegree::D3, MeshDegree::D4, MeshDegree::D5, MeshDegree::D6] {
-        let vendor = sweep_point(ProtocolKind::Bgp, degree, runs, jobs, &|_| {});
-        let pair = sweep_point(ProtocolKind::Bgp, degree, runs, jobs, &|cfg: &mut ExperimentConfig| {
-            cfg.protocol_override =
-                Some(convergence::experiment::ProtocolFactory::new(|| {
-                    Box::new(Bgp::with_config(BgpConfig {
-                        mrai_scope: MraiScope::PerNeighborDestination,
-                        ..BgpConfig::standard()
-                    }).expect("valid config"))
-                }));
-        });
+        let vendor =
+            sweep_point_observed(ProtocolKind::Bgp, degree, runs, jobs, &|_| {}, &mut observer);
+        let pair = sweep_point_observed(
+            ProtocolKind::Bgp,
+            degree,
+            runs,
+            jobs,
+            &|cfg: &mut ExperimentConfig| {
+                cfg.protocol_override =
+                    Some(convergence::experiment::ProtocolFactory::new(|| {
+                        Box::new(Bgp::with_config(BgpConfig {
+                            mrai_scope: MraiScope::PerNeighborDestination,
+                            ..BgpConfig::standard()
+                        }).expect("valid config"))
+                    }));
+            },
+            &mut observer,
+        );
         table.push_row(vec![
             degree.to_string(),
             fmt_f64(vendor.ttl_expirations.mean),
@@ -63,4 +73,6 @@ fn main() {
     let path = bench::results_dir().join("ablation_mrai.csv");
     table.write_csv(&path).expect("write CSV");
     println!("wrote {}", path.display());
+    let tpath = observer.finish().expect("write telemetry");
+    println!("wrote {}", tpath.display());
 }

@@ -5,14 +5,16 @@
 //! DBF at degree 4 and checks that the *ratios* (delivery ratio, loop
 //! counts) move little while absolute drop counts scale with the rate.
 
-use bench::{sweep_args, SweepArgs, sweep_point};
+use bench::{sweep_args, sweep_point_observed, SweepArgs, SweepObserver};
 use convergence::protocols::ProtocolKind;
 use convergence::report::{fmt_f64, Table};
 use netsim::time::SimDuration;
 use topology::mesh::MeshDegree;
 
 fn main() {
-    let SweepArgs { runs, jobs } = sweep_args();
+    let args = sweep_args();
+    let SweepArgs { runs, jobs, .. } = args;
+    let mut observer = SweepObserver::new("ablation_sensitivity", args);
     println!("Ablation A3 — parameter sensitivity (DBF, degree 4), {runs} runs/point\n");
 
     let mut table = Table::new(
@@ -32,38 +34,66 @@ fn main() {
 
     add(
         "baseline (50ms detect, 20pps, q20)",
-        sweep_point(ProtocolKind::Dbf, MeshDegree::D4, runs, jobs, &|_| {}),
+        sweep_point_observed(ProtocolKind::Dbf, MeshDegree::D4, runs, jobs, &|_| {}, &mut observer),
     );
     for (label, detect_ms) in [("detect 5ms", 5u64), ("detect 500ms", 500)] {
         add(
             label,
-            sweep_point(ProtocolKind::Dbf, MeshDegree::D4, runs, jobs, &|cfg| {
-                cfg.link.detection_delay = SimDuration::from_millis(detect_ms);
-            }),
+            sweep_point_observed(
+                ProtocolKind::Dbf,
+                MeshDegree::D4,
+                runs,
+                jobs,
+                &|cfg| {
+                    cfg.link.detection_delay = SimDuration::from_millis(detect_ms);
+                },
+                &mut observer,
+            ),
         );
     }
     for (label, rate) in [("rate 10pps", 10u64), ("rate 100pps", 100)] {
         add(
             label,
-            sweep_point(ProtocolKind::Dbf, MeshDegree::D4, runs, jobs, &|cfg| {
-                cfg.traffic.rate_pps = rate;
-            }),
+            sweep_point_observed(
+                ProtocolKind::Dbf,
+                MeshDegree::D4,
+                runs,
+                jobs,
+                &|cfg| {
+                    cfg.traffic.rate_pps = rate;
+                },
+                &mut observer,
+            ),
         );
     }
     for (label, cap) in [("queue 5", 5usize), ("queue 100", 100)] {
         add(
             label,
-            sweep_point(ProtocolKind::Dbf, MeshDegree::D4, runs, jobs, &|cfg| {
-                cfg.link.queue_capacity = cap;
-            }),
+            sweep_point_observed(
+                ProtocolKind::Dbf,
+                MeshDegree::D4,
+                runs,
+                jobs,
+                &|cfg| {
+                    cfg.link.queue_capacity = cap;
+                },
+                &mut observer,
+            ),
         );
     }
     for (label, delay_ms) in [("prop 0.1ms", 1u64), ("prop 10ms", 100)] {
         add(
             label,
-            sweep_point(ProtocolKind::Dbf, MeshDegree::D4, runs, jobs, &|cfg| {
-                cfg.link.propagation_delay = SimDuration::from_micros(delay_ms * 100);
-            }),
+            sweep_point_observed(
+                ProtocolKind::Dbf,
+                MeshDegree::D4,
+                runs,
+                jobs,
+                &|cfg| {
+                    cfg.link.propagation_delay = SimDuration::from_micros(delay_ms * 100);
+                },
+                &mut observer,
+            ),
         );
     }
     println!("{}", table.render());
@@ -73,4 +103,6 @@ fn main() {
     let path = bench::results_dir().join("ablation_sensitivity.csv");
     table.write_csv(&path).expect("write CSV");
     println!("wrote {}", path.display());
+    let tpath = observer.finish().expect("write telemetry");
+    println!("wrote {}", tpath.display());
 }

@@ -4,7 +4,7 @@
 //! Runs DBF with poisoned reverse (default), simple split horizon, and no
 //! split horizon at the loop-prone sparse degrees.
 
-use bench::{sweep_args, SweepArgs, sweep_point};
+use bench::{sweep_args, sweep_point_observed, SweepArgs, SweepObserver};
 use convergence::experiment::ProtocolFactory;
 use convergence::protocols::ProtocolKind;
 use convergence::report::{fmt_f64, Table};
@@ -22,7 +22,9 @@ fn dbf_with(mode: SplitHorizon) -> ProtocolFactory {
 }
 
 fn main() {
-    let SweepArgs { runs, jobs } = sweep_args();
+    let args = sweep_args();
+    let SweepArgs { runs, jobs, .. } = args;
+    let mut observer = SweepObserver::new("ablation_split_horizon", args);
     println!("Ablation A2 — split-horizon modes (DBF), {runs} runs/point\n");
 
     let modes = [
@@ -37,9 +39,16 @@ fn main() {
     );
     for degree in [MeshDegree::D3, MeshDegree::D4, MeshDegree::D5] {
         for (label, mode) in modes {
-            let point = sweep_point(ProtocolKind::Dbf, degree, runs, jobs, &|cfg| {
-                cfg.protocol_override = Some(dbf_with(mode));
-            });
+            let point = sweep_point_observed(
+                ProtocolKind::Dbf,
+                degree,
+                runs,
+                jobs,
+                &|cfg| {
+                    cfg.protocol_override = Some(dbf_with(mode));
+                },
+                &mut observer,
+            );
             table.push_row(vec![
                 degree.to_string(),
                 label.to_string(),
@@ -57,4 +66,6 @@ fn main() {
     let path = bench::results_dir().join("ablation_split_horizon.csv");
     table.write_csv(&path).expect("write CSV");
     println!("wrote {}", path.display());
+    let tpath = observer.finish().expect("write telemetry");
+    println!("wrote {}", tpath.display());
 }

@@ -8,13 +8,15 @@
 //! that claim: DUAL (zero loops by construction, diffusion freeze) against
 //! DBF (instant switch-over, occasional loops) and BGP-3.
 
-use bench::{sweep_args, SweepArgs, sweep_point};
+use bench::{sweep_args, sweep_point_observed, SweepArgs, SweepObserver};
 use convergence::protocols::ProtocolKind;
 use convergence::report::{fmt_f64, Table};
 use topology::mesh::MeshDegree;
 
 fn main() {
-    let SweepArgs { runs, jobs } = sweep_args();
+    let args = sweep_args();
+    let SweepArgs { runs, jobs, .. } = args;
+    let mut observer = SweepObserver::new("ext_dual", args);
     println!("Extension E6 — DUAL vs the distance-vector family, {runs} runs/point\n");
 
     let protocols = [ProtocolKind::Dual, ProtocolKind::Dbf, ProtocolKind::Bgp3];
@@ -25,7 +27,7 @@ fn main() {
     );
     for degree in MeshDegree::ALL {
         for protocol in protocols {
-            let point = sweep_point(protocol, degree, runs, jobs, &|_| {});
+            let point = sweep_point_observed(protocol, degree, runs, jobs, &|_| {}, &mut observer);
             table.push_row(vec![
                 degree.to_string(),
                 protocol.label().to_string(),
@@ -46,4 +48,6 @@ fn main() {
     let path = bench::results_dir().join("ext_dual.csv");
     table.write_csv(&path).expect("write CSV");
     println!("wrote {}", path.display());
+    let tpath = observer.finish().expect("write telemetry");
+    println!("wrote {}", tpath.display());
 }

@@ -9,13 +9,15 @@
 //! delivered packets (valid-but-suboptimal alternates show up as stretch
 //! just above 1).
 
-use bench::{sweep_args, SweepArgs, sweep_point};
+use bench::{sweep_args, sweep_point_observed, SweepArgs, SweepObserver};
 use convergence::protocols::ProtocolKind;
 use convergence::report::{fmt_f64, Table};
 use topology::mesh::MeshDegree;
 
 fn main() {
-    let SweepArgs { runs, jobs } = sweep_args();
+    let args = sweep_args();
+    let SweepArgs { runs, jobs, .. } = args;
+    let mut observer = SweepObserver::new("ext_factors", args);
     println!("Extension E7 — §4 factors: switch-over windows and path stretch, {runs} runs/point\n");
 
     let mut table = Table::new(
@@ -25,7 +27,7 @@ fn main() {
     );
     for degree in [MeshDegree::D3, MeshDegree::D4, MeshDegree::D6] {
         for protocol in ProtocolKind::PAPER {
-            let point = sweep_point(protocol, degree, runs, jobs, &|_| {});
+            let point = sweep_point_observed(protocol, degree, runs, jobs, &|_| {}, &mut observer);
             table.push_row(vec![
                 degree.to_string(),
                 protocol.label().to_string(),
@@ -44,4 +46,6 @@ fn main() {
     let path = bench::results_dir().join("ext_factors.csv");
     table.write_csv(&path).expect("write CSV");
     println!("wrote {}", path.display());
+    let tpath = observer.finish().expect("write telemetry");
+    println!("wrote {}", tpath.display());
 }

@@ -9,13 +9,15 @@
 //! updates can be lost) and a reliably-signaled one (BGP-3, immune to
 //! queue drops by its TCP-like session).
 
-use bench::{point_seed, sweep_args, SweepArgs};
+use bench::{point_seed, sweep_args, SweepArgs, SweepObserver};
 use convergence::prelude::*;
 use convergence::report::{fmt_f64, Table};
 use topology::mesh::MeshDegree;
 
 fn main() {
-    let SweepArgs { runs, jobs } = sweep_args();
+    let args = sweep_args();
+    let SweepArgs { runs, jobs, .. } = args;
+    let mut observer = SweepObserver::new("ext_load", args);
     let runs = runs.min(30);
     println!("Extension E8 — convergence under load (degree 4), {runs} runs/point");
     println!("(10 Mb/s links carry ~1250 x 1000B pkt/s; 5 flows share the mesh)\n");
@@ -35,19 +37,35 @@ fn main() {
     );
     for rate in [20u64, 200, 400] {
         for protocol in [ProtocolKind::Dbf, ProtocolKind::Bgp3] {
-            let per_run = par_map_indexed(runs, jobs, |i| {
-                let mut cfg = ExperimentConfig::paper(
-                    protocol,
-                    MeshDegree::D4,
-                    point_seed(MeshDegree::D4, i),
-                );
-                cfg.traffic.rate_pps = rate;
-                cfg.traffic.flows = 5;
-                let result = run(&cfg).expect("run succeeds");
-                (summarize_streaming(&result).expect("summary"), result.stats.control_messages_lost)
-            });
-            let ctrl_lost: u64 = per_run.iter().map(|(_, lost)| lost).sum();
-            let summaries: Vec<_> = per_run.into_iter().map(|(s, _)| s).collect();
+            let sweep_label = format!("{}/d4/rate-{rate}", protocol.label());
+            let meter = observer.meter(&sweep_label, runs);
+            let per_run = par_map_indexed_with(
+                runs,
+                jobs,
+                |i| {
+                    let mut cfg = ExperimentConfig::paper(
+                        protocol,
+                        MeshDegree::D4,
+                        point_seed(MeshDegree::D4, i),
+                    );
+                    cfg.traffic.rate_pps = rate;
+                    cfg.traffic.flows = 5;
+                    let result = run(&cfg).expect("run succeeds");
+                    let telemetry =
+                        run_telemetry(i as u64, cfg.seed, 1, protocol.label(), &result);
+                    let lost = result.stats.control_messages_lost;
+                    (summarize_streaming(&result).expect("summary"), lost, telemetry)
+                },
+                &|i| meter.tick(i),
+            );
+            let ctrl_lost: u64 = per_run.iter().map(|(_, lost, _)| lost).sum();
+            let mut summaries = Vec::with_capacity(per_run.len());
+            let mut rows = Vec::with_capacity(per_run.len());
+            for (summary, _, telemetry) in per_run {
+                summaries.push(summary);
+                rows.push(telemetry);
+            }
+            observer.push_rows(&sweep_label, rows);
             let point = convergence::aggregate::aggregate_point(&summaries).expect("nonempty sweep");
             let queue_drops: f64 = summaries
                 .iter()
@@ -73,4 +91,6 @@ fn main() {
     let path = bench::results_dir().join("ext_load.csv");
     table.write_csv(&path).expect("write CSV");
     println!("wrote {}", path.display());
+    let tpath = observer.finish().expect("write telemetry");
+    println!("wrote {}", tpath.display());
 }

@@ -14,14 +14,16 @@
 //! draw yields no usable scenario is retried with a derived reseed, and
 //! anything unsalvageable is reported, not panicked over.
 
-use bench::{point_seed, sweep_args, SweepArgs};
+use bench::{point_seed, sweep_args, SweepArgs, SweepObserver};
 use convergence::aggregate::{aggregate_point, RetryPolicy, SweepMode, SweepOptions};
 use convergence::prelude::*;
 use convergence::report::{fmt_f64, Table};
 use topology::mesh::MeshDegree;
 
 fn main() {
-    let SweepArgs { runs, jobs } = sweep_args();
+    let args = sweep_args();
+    let SweepArgs { runs, jobs, .. } = args;
+    let mut observer = SweepObserver::new("ext_lossy", args);
     println!("Extension E9 — convergence under lossy links, {runs} runs/point");
     println!("(paper single-link failure at degree 4, plus uniform frame loss)\n");
 
@@ -51,7 +53,7 @@ fn main() {
                 retry: RetryPolicy::default(),
                 mode: SweepMode::Trace,
             };
-            let outcome = run_sweep_with(&cfg, runs, point_seed(degree, 0), options);
+            let mut outcome = run_sweep_with(&cfg, runs, point_seed(degree, 0), options);
             for failure in &outcome.failed {
                 eprintln!(
                     "  seed {} failed after {} attempts: {}",
@@ -83,6 +85,8 @@ fn main() {
                 fmt_f64(retransmits),
                 outcome.failed.len().to_string(),
             ]);
+            let sweep_label = format!("{}/d{degree}/loss-{:.0}", protocol.label(), loss * 100.0);
+            observer.push_rows(&sweep_label, std::mem::take(&mut outcome.telemetry));
             eprintln!("  loss {:.0}% {protocol} done", loss * 100.0);
         }
     }
@@ -94,4 +98,6 @@ fn main() {
     let path = bench::results_dir().join("ext_lossy.csv");
     table.write_csv(&path).expect("write CSV");
     println!("wrote {}", path.display());
+    let tpath = observer.finish().expect("write telemetry");
+    println!("wrote {}", tpath.display());
 }

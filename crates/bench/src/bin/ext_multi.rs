@@ -1,7 +1,7 @@
 //! Extension E2 (paper §6 future work): multiple sender/receiver pairs,
 //! multiple simultaneous link failures, and whole-router failures.
 
-use bench::{sweep_args, SweepArgs, sweep_point};
+use bench::{sweep_args, sweep_point_observed, SweepArgs, SweepObserver};
 use convergence::failure::FailurePlan;
 use convergence::protocols::ProtocolKind;
 use convergence::report::{fmt_f64, Table};
@@ -10,7 +10,9 @@ use topology::mesh::MeshDegree;
 type Customizer = Box<dyn Fn(&mut convergence::experiment::ExperimentConfig) + Sync>;
 
 fn main() {
-    let SweepArgs { runs, jobs } = sweep_args();
+    let args = sweep_args();
+    let SweepArgs { runs, jobs, .. } = args;
+    let mut observer = SweepObserver::new("ext_multi", args);
     println!("Extension E2 — multiple flows / failures, {runs} runs/point\n");
 
     let protocols = [ProtocolKind::Dbf, ProtocolKind::Bgp3];
@@ -43,7 +45,14 @@ fn main() {
                 ),
             ];
             for (label, customize) in &scenarios {
-                let point = sweep_point(protocol, degree, runs, jobs, customize.as_ref());
+                let point = sweep_point_observed(
+                    protocol,
+                    degree,
+                    runs,
+                    jobs,
+                    customize.as_ref(),
+                    &mut observer,
+                );
                 table.push_row(vec![
                     (*label).to_string(),
                     degree.to_string(),
@@ -63,4 +72,6 @@ fn main() {
     let path = bench::results_dir().join("ext_multi.csv");
     table.write_csv(&path).expect("write CSV");
     println!("wrote {}", path.display());
+    let tpath = observer.finish().expect("write telemetry");
+    println!("wrote {}", tpath.display());
 }

@@ -6,13 +6,15 @@
 //! distance-vector exploration — the hypothesis the paper's future-work
 //! section wants tested.
 
-use bench::{sweep_args, SweepArgs, sweep_point};
+use bench::{sweep_args, sweep_point_observed, SweepArgs, SweepObserver};
 use convergence::protocols::ProtocolKind;
 use convergence::report::{fmt_f64, Table};
 use topology::mesh::MeshDegree;
 
 fn main() {
-    let SweepArgs { runs, jobs } = sweep_args();
+    let args = sweep_args();
+    let SweepArgs { runs, jobs, .. } = args;
+    let mut observer = SweepObserver::new("ext_spf", args);
     println!("Extension E1 — SPF and DUAL vs the paper's family, {runs} runs/point\n");
 
     let mut table = Table::new(
@@ -23,7 +25,7 @@ fn main() {
     for degree in [MeshDegree::D3, MeshDegree::D4, MeshDegree::D6] {
         let points: Vec<_> = ProtocolKind::ALL
             .iter()
-            .map(|&p| sweep_point(p, degree, runs, jobs, &|_| {}))
+            .map(|&p| sweep_point_observed(p, degree, runs, jobs, &|_| {}, &mut observer))
             .collect();
         let mut row = |metric: &str, f: &dyn Fn(&convergence::aggregate::PointSummary) -> f64| {
             table.push_row(
@@ -45,4 +47,6 @@ fn main() {
     let path = bench::results_dir().join("ext_spf.csv");
     table.write_csv(&path).expect("write CSV");
     println!("wrote {}", path.display());
+    let tpath = observer.finish().expect("write telemetry");
+    println!("wrote {}", tpath.display());
 }

@@ -6,14 +6,16 @@
 //! reference \[25\]) crosses the mesh while one on-path link fails. We
 //! measure the goodput stall and retransmission cost per protocol.
 
-use bench::{point_seed, sweep_args, SweepArgs};
+use bench::{point_seed, sweep_args, SweepArgs, SweepObserver};
 use convergence::prelude::*;
 use convergence::report::{fmt_f64, Table};
 use netsim::time::SimDuration;
 use topology::mesh::MeshDegree;
 
 fn main() {
-    let SweepArgs { runs, jobs } = sweep_args();
+    let args = sweep_args();
+    let SweepArgs { runs, jobs, .. } = args;
+    let mut observer = SweepObserver::new("ext_tcp", args);
     let runs = runs.min(50);
     println!("Extension E3 — go-back-N transfer across a failure, {runs} runs/point\n");
 
@@ -30,7 +32,9 @@ fn main() {
     );
     for degree in [MeshDegree::D3, MeshDegree::D4, MeshDegree::D6] {
         for protocol in ProtocolKind::PAPER {
-            let per_run = par_map_indexed(runs, jobs, |i| {
+            let sweep_label = format!("{}/d{degree}/gbn", protocol.label());
+            let meter = observer.meter(&sweep_label, runs);
+            let per_run = par_map_indexed_with(runs, jobs, |i| {
                 let mut cfg = ExperimentConfig::paper(protocol, degree, point_seed(degree, i));
                 cfg.traffic.mode = TrafficMode::GoBackN(GoBackNConfig {
                     total_packets: 20_000,
@@ -52,8 +56,11 @@ fn main() {
                 let done = report
                     .completed_at
                     .map(|done| done.saturating_since(result.t_fail).as_secs_f64());
-                (stall, report.retransmissions as f64, done)
-            });
+                let telemetry = run_telemetry(i as u64, cfg.seed, 1, protocol.label(), &result);
+                ((stall, report.retransmissions as f64, done), telemetry)
+            }, &|i| meter.tick(i));
+            let (per_run, rows): (Vec<_>, Vec<_>) = per_run.into_iter().unzip();
+            observer.push_rows(&sweep_label, rows);
             let stalls: Vec<f64> = per_run.iter().map(|&(s, _, _)| s).collect();
             let retx: Vec<f64> = per_run.iter().map(|&(_, r, _)| r).collect();
             let completion: Vec<f64> = per_run.iter().filter_map(|&(_, _, c)| c).collect();
@@ -79,4 +86,6 @@ fn main() {
     let path = bench::results_dir().join("ext_tcp.csv");
     table.write_csv(&path).expect("write CSV");
     println!("wrote {}", path.display());
+    let tpath = observer.finish().expect("write telemetry");
+    println!("wrote {}", tpath.display());
 }

@@ -4,13 +4,15 @@
 //! Paper shape to reproduce: drops fall as the degree rises; at degree ≥ 6
 //! DBF/BGP/BGP-3 drop virtually nothing while RIP remains clearly worst.
 
-use bench::{sweep_args, SweepArgs, sweep_point};
+use bench::{sweep_args, sweep_point_observed, SweepArgs, SweepObserver};
 use convergence::protocols::ProtocolKind;
 use convergence::report::{fmt_f64, Table};
 use topology::mesh::MeshDegree;
 
 fn main() {
-    let SweepArgs { runs, jobs } = sweep_args();
+    let args = sweep_args();
+    let SweepArgs { runs, jobs, .. } = args;
+    let mut observer = SweepObserver::new("fig3_drops", args);
     println!("Figure 3 — packet drops (no route) vs node degree, {runs} runs/point\n");
 
     let mut table = Table::new(
@@ -21,7 +23,7 @@ fn main() {
     for degree in MeshDegree::ALL {
         let mut row = vec![degree.to_string()];
         for protocol in ProtocolKind::PAPER {
-            let point = sweep_point(protocol, degree, runs, jobs, &|_| {});
+            let point = sweep_point_observed(protocol, degree, runs, jobs, &|_| {}, &mut observer);
             row.push(fmt_f64(point.drops_no_route.mean));
         }
         table.push_row(row);
@@ -34,4 +36,6 @@ fn main() {
     let path = bench::results_dir().join("fig3_drops.csv");
     table.write_csv(&path).expect("write CSV");
     println!("wrote {}", path.display());
+    let tpath = observer.finish().expect("write telemetry");
+    println!("wrote {}", tpath.display());
 }

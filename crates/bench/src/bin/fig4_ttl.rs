@@ -5,13 +5,15 @@
 //! BGP has the most, roughly the MRAI ratio (~10×) above BGP-3; loops
 //! disappear in densely connected meshes.
 
-use bench::{sweep_args, SweepArgs, sweep_point};
+use bench::{sweep_args, sweep_point_observed, SweepArgs, SweepObserver};
 use convergence::protocols::ProtocolKind;
 use convergence::report::{fmt_f64, Table};
 use topology::mesh::MeshDegree;
 
 fn main() {
-    let SweepArgs { runs, jobs } = sweep_args();
+    let args = sweep_args();
+    let SweepArgs { runs, jobs, .. } = args;
+    let mut observer = SweepObserver::new("fig4_ttl", args);
     println!("Figure 4 — TTL expirations during convergence, {runs} runs/point\n");
 
     let mut ttl = Table::new(
@@ -28,7 +30,7 @@ fn main() {
         let mut ttl_row = vec![degree.to_string()];
         let mut loop_row = vec![degree.to_string()];
         for protocol in ProtocolKind::PAPER {
-            let point = sweep_point(protocol, degree, runs, jobs, &|_| {});
+            let point = sweep_point_observed(protocol, degree, runs, jobs, &|_| {}, &mut observer);
             ttl_row.push(fmt_f64(point.ttl_expirations.mean));
             loop_row.push(fmt_f64(point.looped_packets.mean));
         }
@@ -46,4 +48,6 @@ fn main() {
     let path = bench::results_dir().join("fig4_ttl.csv");
     ttl.write_csv(&path).expect("write CSV");
     println!("wrote {}", path.display());
+    let tpath = observer.finish().expect("write telemetry");
+    println!("wrote {}", tpath.display());
 }

@@ -6,7 +6,7 @@
 //! the ~30 s MRAI, DBF and BGP-3 within seconds. At degree 6 only RIP
 //! still shows a visible dip.
 
-use bench::{sweep_args, SweepArgs, sparkline, sweep_series};
+use bench::{sweep_args, sparkline, sweep_series_observed, SweepArgs, SweepObserver};
 use convergence::metrics::series::mean_u64_series;
 use convergence::protocols::ProtocolKind;
 use convergence::report::Table;
@@ -16,7 +16,9 @@ const FROM_S: i64 = -10;
 const TO_S: i64 = 40;
 
 fn main() {
-    let SweepArgs { runs, jobs } = sweep_args();
+    let args = sweep_args();
+    let SweepArgs { runs, jobs, .. } = args;
+    let mut observer = SweepObserver::new("fig5_throughput", args);
     println!("Figure 5 — instantaneous throughput vs time, {runs} runs/point");
     println!("window: {FROM_S}..{TO_S} s relative to the failure; rate = 20 pkt/s\n");
 
@@ -28,7 +30,8 @@ fn main() {
         );
         let mut columns = Vec::new();
         for protocol in ProtocolKind::PAPER {
-            let series = sweep_series(protocol, degree, runs, jobs, FROM_S, TO_S);
+            let series =
+                sweep_series_observed(protocol, degree, runs, jobs, FROM_S, TO_S, &mut observer);
             let through: Vec<Vec<(i64, u64)>> =
                 series.into_iter().map(|s| s.throughput).collect();
             columns.push(mean_u64_series(&through));
@@ -51,4 +54,6 @@ fn main() {
         table.write_csv(&path).expect("write CSV");
         println!("wrote {}\n", path.display());
     }
+    let tpath = observer.finish().expect("write telemetry");
+    println!("wrote {}", tpath.display());
 }

@@ -7,13 +7,15 @@
 //! packet-drop difference between BGP and BGP-3 is negligible — fast
 //! convergence is not the same thing as good packet delivery.
 
-use bench::{sweep_args, SweepArgs, sweep_point};
+use bench::{sweep_args, sweep_point_observed, SweepArgs, SweepObserver};
 use convergence::protocols::ProtocolKind;
 use convergence::report::{fmt_f64, Table};
 use topology::mesh::MeshDegree;
 
 fn main() {
-    let SweepArgs { runs, jobs } = sweep_args();
+    let args = sweep_args();
+    let SweepArgs { runs, jobs, .. } = args;
+    let mut observer = SweepObserver::new("fig6_convergence", args);
     println!("Figure 6 — convergence times vs node degree, {runs} runs/point\n");
 
     let headers: Vec<String> = std::iter::once("degree".to_string())
@@ -25,7 +27,7 @@ fn main() {
         let mut fwd_row = vec![degree.to_string()];
         let mut rt_row = vec![degree.to_string()];
         for protocol in ProtocolKind::PAPER {
-            let point = sweep_point(protocol, degree, runs, jobs, &|_| {});
+            let point = sweep_point_observed(protocol, degree, runs, jobs, &|_| {}, &mut observer);
             fwd_row.push(fmt_f64(point.forwarding_convergence_s.mean));
             rt_row.push(fmt_f64(point.routing_convergence_s.mean));
         }
@@ -53,4 +55,6 @@ fn main() {
             .join("fig6b_routing_convergence.csv")
             .display()
     );
+    let tpath = observer.finish().expect("write telemetry");
+    println!("wrote {}", tpath.display());
 }

@@ -6,7 +6,7 @@
 //! settles back; packets that escape a forwarding loop show much larger
 //! spikes (visible at the loop-prone sparse degrees).
 
-use bench::{sweep_args, SweepArgs, sweep_series};
+use bench::{sweep_args, sweep_series_observed, SweepArgs, SweepObserver};
 use convergence::metrics::series::mean_delay_series;
 use convergence::protocols::ProtocolKind;
 use convergence::report::Table;
@@ -16,7 +16,9 @@ const FROM_S: i64 = -10;
 const TO_S: i64 = 40;
 
 fn main() {
-    let SweepArgs { runs, jobs } = sweep_args();
+    let args = sweep_args();
+    let SweepArgs { runs, jobs, .. } = args;
+    let mut observer = SweepObserver::new("fig7_delay", args);
     println!("Figure 7 — instantaneous packet delay vs time, {runs} runs/point");
     println!("window: {FROM_S}..{TO_S} s relative to the failure\n");
 
@@ -28,7 +30,8 @@ fn main() {
         );
         let mut columns = Vec::new();
         for protocol in ProtocolKind::PAPER {
-            let series = sweep_series(protocol, degree, runs, jobs, FROM_S, TO_S);
+            let series =
+                sweep_series_observed(protocol, degree, runs, jobs, FROM_S, TO_S, &mut observer);
             let delays: Vec<Vec<(i64, Option<f64>)>> =
                 series.into_iter().map(|s| s.delay).collect();
             columns.push(mean_delay_series(&delays));
@@ -52,4 +55,6 @@ fn main() {
     }
     println!("expected shape: flat baseline before the failure; a post-failure");
     println!("bump (longer transient paths); larger spikes where loops occur.");
+    let tpath = observer.finish().expect("write telemetry");
+    println!("wrote {}", tpath.display());
 }

@@ -8,8 +8,13 @@
 //! whole as each figure finishes, so tables never interleave.
 //!
 //! Writes `results/manifest.json` recording, per target, whether it
-//! succeeded and how long it took.
+//! succeeded, how long it took, and the aggregate of its per-run
+//! telemetry (`results/telemetry/<target>.jsonl`, written by the child).
+//! The per-target telemetry streams are concatenated, in canonical
+//! target order, into `results/telemetry.jsonl` — deterministic bytes
+//! for a fixed seed and runs count, whatever `--jobs` was.
 
+use obs::telemetry::{field_bool, field_u64};
 use std::io::Write as _;
 use std::process::Command;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -45,6 +50,51 @@ struct Completed {
     name: &'static str,
     success: bool,
     duration_s: f64,
+}
+
+/// Sums a target's `results/telemetry/<name>.jsonl` into the manifest's
+/// per-target aggregate, or `None` when the target wrote no telemetry.
+fn telemetry_aggregate(name: &str) -> Option<String> {
+    let path = bench::results_dir()
+        .join("telemetry")
+        .join(format!("{name}.jsonl"));
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut runs = 0u64;
+    let mut events = 0u64;
+    let mut attempts = 0u64;
+    let mut watchdog = 0u64;
+    let mut failed = 0u64;
+    for line in text.lines() {
+        runs += 1;
+        events += field_u64(line, "events_processed").unwrap_or(0);
+        attempts += field_u64(line, "attempts").unwrap_or(0);
+        watchdog += field_u64(line, "watchdog_trips").unwrap_or(0);
+        if !field_bool(line, "ok").unwrap_or(true) {
+            failed += 1;
+        }
+    }
+    Some(format!(
+        "{{\"runs\": {runs}, \"events_processed\": {events}, \
+         \"attempts\": {attempts}, \"watchdog_trips\": {watchdog}, \
+         \"failed_runs\": {failed}}}"
+    ))
+}
+
+/// Concatenates the per-target telemetry streams, in canonical target
+/// order, into `results/telemetry.jsonl`.
+fn merge_telemetry(targets: &[&'static str]) -> std::io::Result<std::path::PathBuf> {
+    let mut merged = String::new();
+    for target in targets {
+        let path = bench::results_dir()
+            .join("telemetry")
+            .join(format!("{target}.jsonl"));
+        if let Ok(text) = std::fs::read_to_string(path) {
+            merged.push_str(&text);
+        }
+    }
+    let path = bench::results_dir().join("telemetry.jsonl");
+    std::fs::write(&path, merged)?;
+    Ok(path)
 }
 
 fn main() {
@@ -126,10 +176,11 @@ fn main() {
         .iter()
         .map(|c| {
             format!(
-                "    {{\"name\": \"{}\", \"status\": \"{}\", \"duration_s\": {:.3}}}",
+                "    {{\"name\": \"{}\", \"status\": \"{}\", \"duration_s\": {:.3}, \"telemetry\": {}}}",
                 c.name,
                 if c.success { "ok" } else { "failed" },
-                c.duration_s
+                c.duration_s,
+                telemetry_aggregate(c.name).unwrap_or_else(|| "null".to_string())
             )
         })
         .collect();
@@ -141,6 +192,8 @@ fn main() {
     std::fs::create_dir_all(bench::results_dir()).expect("results dir");
     std::fs::write(&path, manifest).expect("write manifest");
     println!("wrote {}", path.display());
+    let tpath = merge_telemetry(&targets).expect("write merged telemetry");
+    println!("wrote {}", tpath.display());
 
     let failed: Vec<&str> = done.iter().filter(|c| !c.success).map(|c| c.name).collect();
     assert!(failed.is_empty(), "failed targets: {}", failed.join(", "));

@@ -12,6 +12,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use obs::telemetry::RunTelemetry;
 use serde::{Deserialize, Serialize};
 
 use crate::experiment::ExperimentConfig;
@@ -20,6 +21,82 @@ use crate::metrics::summary::{summarize, RunSummary};
 use crate::metrics::MetricsError;
 use crate::parallel::par_map_indexed;
 use crate::runner::{run, RunError, RunResult};
+
+/// The protocol label a sweep stamps into its telemetry rows: the
+/// configured [`ProtocolKind`](crate::protocols::ProtocolKind) label, or
+/// the instance name reported by a protocol-override factory.
+///
+/// Probing the override costs one throwaway build. The hardened sweep
+/// must survive a panicking factory (that is its contract), so a panic
+/// during the probe is caught here and the label falls back to the
+/// configured kind's.
+#[must_use]
+pub fn protocol_label(config: &ExperimentConfig) -> String {
+    match &config.protocol_override {
+        Some(factory) => {
+            catch_unwind(AssertUnwindSafe(|| factory.build().name().to_string()))
+                .unwrap_or_else(|_| config.protocol.label().to_string())
+        }
+        None => config.protocol.label().to_string(),
+    }
+}
+
+/// Builds the telemetry record of a completed run slot from its engine
+/// counters.
+#[must_use]
+pub fn run_telemetry(
+    slot: u64,
+    seed: u64,
+    attempts: u32,
+    protocol: &str,
+    result: &RunResult,
+) -> RunTelemetry {
+    let s = result.stats;
+    RunTelemetry {
+        label: String::new(),
+        slot,
+        seed,
+        attempts,
+        ok: true,
+        protocol: protocol.to_string(),
+        events_processed: s.events_processed,
+        queue_high_water: s.queue_high_water,
+        control_messages: s.control_messages_sent,
+        control_bytes: s.control_bytes_sent,
+        control_retransmits: s.control_retransmits,
+        packets_injected: s.packets_injected,
+        packets_delivered: s.packets_delivered,
+        packets_dropped: s.packets_dropped,
+        watchdog_trips: 0,
+        error: String::new(),
+    }
+}
+
+/// Builds the telemetry record of a slot that failed all attempts.
+#[must_use]
+pub fn failed_telemetry(
+    slot: u64,
+    seed: u64,
+    attempts: u32,
+    protocol: &str,
+    error: &RunError,
+) -> RunTelemetry {
+    let (watchdog_trips, events_processed) = match error {
+        RunError::Watchdog { events, .. } => (1, *events),
+        _ => (0, 0),
+    };
+    RunTelemetry {
+        slot,
+        seed,
+        attempts,
+        ok: false,
+        protocol: protocol.to_string(),
+        events_processed,
+        watchdog_trips,
+        error: error.to_string(),
+        ..RunTelemetry::default()
+    }
+}
 
 /// Mean / standard deviation / extremes of one metric across runs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -102,15 +179,42 @@ pub fn run_many_jobs(
     base_seed: u64,
     jobs: usize,
 ) -> Result<Vec<(RunResult, RunSummary)>, RunError> {
-    par_map_indexed(runs, jobs, |i| {
+    run_many_jobs_observed(config, runs, base_seed, jobs).map(|(results, _)| results)
+}
+
+/// [`run_many_jobs`] that additionally returns one [`RunTelemetry`]
+/// record per run, in slot order. The telemetry is a pure function of the
+/// seeds — byte-identical (once rendered) for every `jobs` value.
+///
+/// # Errors
+///
+/// Returns the [`RunError`] of the lowest-indexed failing slot.
+#[allow(clippy::type_complexity)]
+pub fn run_many_jobs_observed(
+    config: &ExperimentConfig,
+    runs: usize,
+    base_seed: u64,
+    jobs: usize,
+) -> Result<(Vec<(RunResult, RunSummary)>, Vec<RunTelemetry>), RunError> {
+    let protocol = protocol_label(config);
+    let slots: Result<Vec<_>, RunError> = par_map_indexed(runs, jobs, |i| {
         let mut cfg = config.clone();
         cfg.seed = base_seed + i as u64;
         let result = run(&cfg)?;
+        let telemetry = run_telemetry(i as u64, cfg.seed, 1, &protocol, &result);
         let summary = summarize(&result)?;
-        Ok((result, summary))
+        Ok((result, summary, telemetry))
     })
     .into_iter()
-    .collect()
+    .collect();
+    let slots = slots?;
+    let mut results = Vec::with_capacity(slots.len());
+    let mut telemetry = Vec::with_capacity(slots.len());
+    for (result, summary, t) in slots {
+        results.push((result, summary));
+        telemetry.push(t);
+    }
+    Ok((results, telemetry))
 }
 
 /// Retry behaviour of [`run_sweep`] when a run's random draw produces an
@@ -200,6 +304,9 @@ pub struct CompletedRun {
     pub result: Option<RunResult>,
     /// The run's scalar summary.
     pub summary: RunSummary,
+    /// Attempts the slot consumed, the first included (> 1 when retryable
+    /// scenario errors forced reseeds before this success).
+    pub attempts: u32,
 }
 
 /// Everything a hardened sweep produced.
@@ -212,6 +319,8 @@ pub struct SweepOutcome {
     /// Total retry attempts consumed across the sweep (0 when every slot
     /// succeeded first try).
     pub retries: u64,
+    /// One record per slot — completed *and* failed — in slot order.
+    pub telemetry: Vec<RunTelemetry>,
 }
 
 impl SweepOutcome {
@@ -230,19 +339,21 @@ impl SweepOutcome {
 
 /// Per-slot outcome before reassembly. The completed payload is boxed:
 /// a trace-retaining [`CompletedRun`] is hundreds of bytes, a
-/// [`FailedRun`] a handful.
+/// [`FailedRun`] a handful. Every slot carries its retry count and
+/// telemetry record.
 enum SlotOutcome {
-    Completed(Box<CompletedRun>, u64),
-    Failed(FailedRun, u64),
+    Completed(Box<CompletedRun>, u64, RunTelemetry),
+    Failed(FailedRun, u64, RunTelemetry),
 }
 
 /// Executes `runs` seeded repetitions of `config` like [`run_many`], but
 /// hardened for sweeps over adversarial configurations: every run is
 /// isolated with [`catch_unwind`] (a panicking run becomes a
 /// [`RunError::Panicked`] entry instead of tearing down the sweep), and
-/// retryable scenario errors (no path, unsatisfiable failure selection)
-/// are retried with deterministically derived reseeds up to
-/// `retry.max_attempts` total attempts.
+/// retryable errors (no path, unsatisfiable failure selection, caught
+/// panics) are retried with deterministically derived reseeds up to
+/// `retry.max_attempts` total attempts. Every slot's telemetry records
+/// its true attempt count, not just the final attempt's outcome.
 ///
 /// Sequential, trace-keeping convenience wrapper over [`run_sweep_with`].
 #[must_use]
@@ -271,6 +382,7 @@ pub fn run_sweep_with(
     options: SweepOptions,
 ) -> SweepOutcome {
     let max_attempts = options.retry.max_attempts.max(1);
+    let protocol = protocol_label(config);
     let slots = par_map_indexed(runs, options.jobs, |i| {
         let slot_seed = base_seed + i as u64;
         let mut attempt = 0;
@@ -282,33 +394,49 @@ pub fn run_sweep_with(
                 .unwrap_or_else(|payload| Err(RunError::Panicked(panic_message(&payload))));
             match attempt_result {
                 Ok(result) => {
+                    // Telemetry is captured here, while the result (and its
+                    // engine counters) is still alive — the streaming mode
+                    // discards the RunResult right below.
+                    let telemetry =
+                        run_telemetry(i as u64, slot_seed, attempt + 1, &protocol, &result);
                     let completed = match options.mode {
                         SweepMode::Trace => summarize(&result).map(|summary| CompletedRun {
                             summary,
                             result: Some(result),
+                            attempts: attempt + 1,
                         }),
                         SweepMode::Streaming => {
                             summarize_streaming(&result).map(|summary| CompletedRun {
                                 summary,
                                 result: None,
+                                attempts: attempt + 1,
                             })
                         }
                     };
                     match completed {
                         Ok(completed) => {
-                            break SlotOutcome::Completed(Box::new(completed), retries)
+                            break SlotOutcome::Completed(Box::new(completed), retries, telemetry)
                         }
                         // A metrics failure is a property of the scenario,
                         // not the draw — report it, never retry it.
                         Err(e) => {
+                            let error = RunError::from(e);
+                            let telemetry = failed_telemetry(
+                                i as u64,
+                                slot_seed,
+                                attempt + 1,
+                                &protocol,
+                                &error,
+                            );
                             break SlotOutcome::Failed(
                                 FailedRun {
                                     seed: slot_seed,
                                     attempts: attempt + 1,
-                                    error: RunError::from(e),
+                                    error,
                                 },
                                 retries,
-                            )
+                                telemetry,
+                            );
                         }
                     }
                 }
@@ -318,6 +446,8 @@ pub fn run_sweep_with(
                         retries += 1;
                         continue;
                     }
+                    let telemetry =
+                        failed_telemetry(i as u64, slot_seed, attempt + 1, &protocol, &error);
                     break SlotOutcome::Failed(
                         FailedRun {
                             seed: slot_seed,
@@ -325,6 +455,7 @@ pub fn run_sweep_with(
                             error,
                         },
                         retries,
+                        telemetry,
                     );
                 }
             }
@@ -334,16 +465,19 @@ pub fn run_sweep_with(
         completed: Vec::with_capacity(runs),
         failed: Vec::new(),
         retries: 0,
+        telemetry: Vec::with_capacity(runs),
     };
     for slot in slots {
         match slot {
-            SlotOutcome::Completed(completed, retries) => {
+            SlotOutcome::Completed(completed, retries, telemetry) => {
                 outcome.completed.push(*completed);
                 outcome.retries += retries;
+                outcome.telemetry.push(telemetry);
             }
-            SlotOutcome::Failed(failed, retries) => {
+            SlotOutcome::Failed(failed, retries, telemetry) => {
                 outcome.failed.push(failed);
                 outcome.retries += retries;
+                outcome.telemetry.push(telemetry);
             }
         }
     }

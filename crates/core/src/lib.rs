@@ -36,7 +36,8 @@ pub mod transport;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use crate::aggregate::{
-        aggregate_point, run_many, run_many_jobs, run_sweep, run_sweep_with, Aggregate,
+        aggregate_point, failed_telemetry, protocol_label, run_many, run_many_jobs,
+        run_many_jobs_observed, run_sweep, run_sweep_with, run_telemetry, Aggregate,
         CompletedRun, FailedRun, PointSummary, RetryPolicy, SweepMode, SweepOptions,
         SweepOutcome,
     };
@@ -50,9 +51,10 @@ pub mod prelude {
     pub use crate::metrics::streaming::{summarize_streaming, SummaryObserver};
     pub use crate::metrics::summary::{summarize, RunSummary};
     pub use crate::metrics::MetricsError;
-    pub use crate::parallel::par_map_indexed;
+    pub use crate::parallel::{par_map_indexed, par_map_indexed_with};
     pub use crate::protocols::ProtocolKind;
     pub use crate::report::Table;
-    pub use crate::runner::{run, Flow, RunError, RunResult};
+    pub use crate::runner::{run, run_observed, Flow, RunError, RunResult};
+    pub use obs::telemetry::{render_jsonl, RunTelemetry};
     pub use crate::transport::{GoBackNConfig, WindowFlowReport};
 }

@@ -45,9 +45,33 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    par_map_indexed_with(count, jobs, f, &|_| {})
+}
+
+/// [`par_map_indexed`] with a completion callback: `on_done(i)` fires on
+/// the worker thread right after slot `i`'s result is produced, in
+/// whatever order slots actually finish. The callback is for side-band
+/// reporting (progress meters) only — results are still reassembled in
+/// slot order, so it cannot affect the output.
+pub fn par_map_indexed_with<T, F>(
+    count: usize,
+    jobs: usize,
+    f: F,
+    on_done: &(dyn Fn(usize) + Sync),
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let jobs = effective_jobs(jobs).min(count);
     if jobs <= 1 || count <= 1 {
-        return (0..count).map(f).collect();
+        return (0..count)
+            .map(|i| {
+                let out = f(i);
+                on_done(i);
+                out
+            })
+            .collect();
     }
     let cursor = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, T)> = thread::scope(|scope| {
@@ -61,6 +85,7 @@ where
                             break;
                         }
                         mine.push((i, f(i)));
+                        on_done(i);
                     }
                     mine
                 })
@@ -113,5 +138,23 @@ mod tests {
     fn empty_and_singleton_inputs() {
         assert_eq!(par_map_indexed(0, 4, |i| i), Vec::<usize>::new());
         assert_eq!(par_map_indexed(1, 4, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn completion_callback_fires_once_per_slot() {
+        use std::sync::atomic::AtomicU32;
+        for jobs in [1, 4] {
+            let fired: Vec<AtomicU32> = (0..20).map(|_| AtomicU32::new(0)).collect();
+            let out = par_map_indexed_with(
+                20,
+                jobs,
+                |i| i * 2,
+                &|i| {
+                    fired[i].fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            assert_eq!(out, (0..20).map(|i| i * 2).collect::<Vec<_>>());
+            assert!(fired.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        }
     }
 }

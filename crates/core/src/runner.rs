@@ -150,11 +150,15 @@ impl From<EventBudgetExceeded> for RunError {
 impl RunError {
     /// Whether retrying the same scenario under a different seed could
     /// plausibly succeed. Selection and path problems are properties of
-    /// the random flow/failure draw; validation and build problems are
-    /// properties of the configuration.
+    /// the random flow/failure draw, and a caught panic may be a
+    /// draw-dependent corner of an adversarial configuration; validation
+    /// and build problems are properties of the configuration.
     #[must_use]
     pub fn is_retryable(&self) -> bool {
-        matches!(self, RunError::NoPath(_) | RunError::Selection(_))
+        matches!(
+            self,
+            RunError::NoPath(_) | RunError::Selection(_) | RunError::Panicked(_)
+        )
     }
 }
 
@@ -181,11 +185,35 @@ impl RunError {
 /// # Ok::<(), convergence::runner::RunError>(())
 /// ```
 pub fn run(config: &ExperimentConfig) -> Result<RunResult, RunError> {
+    run_observed(config, None).map(|(result, _)| result)
+}
+
+/// [`run`] with an optional span recorder attached to the engine for the
+/// whole run: event dispatch, protocol processing and trace recording are
+/// measured as nested spans (see [`netsim::simulator::Simulator::set_recorder`]).
+/// The recorder comes back alongside the result so callers can reuse it
+/// across runs and aggregate phase profiles. On an error the simulator —
+/// and the recorder inside it — is dropped, so partial recordings of
+/// failed runs are not reported.
+///
+/// `run_observed(config, None)` is exactly [`run`]: attaching no recorder
+/// leaves the engine's hot path branch-predictable no-ops.
+///
+/// # Errors
+///
+/// See [`RunError`].
+pub fn run_observed(
+    config: &ExperimentConfig,
+    recorder: Option<Box<obs::span::Recorder>>,
+) -> Result<(RunResult, Option<Box<obs::span::Recorder>>), RunError> {
     config.validate().map_err(RunError::Invalid)?;
     let realized = config.topology.realize();
     let (mut builder, link_map) = to_simulator_builder(&realized.graph, config.link)?;
     builder.seed(config.seed);
     let mut sim = builder.build()?;
+    if let Some(rec) = recorder {
+        sim.set_recorder(rec);
+    }
     for node in realized.graph.nodes() {
         let instance = match &config.protocol_override {
             Some(factory) => factory.build(),
@@ -360,18 +388,22 @@ pub fn run(config: &ExperimentConfig) -> Result<RunResult, RunError> {
             flow_reports.push(source.report());
         }
     }
-    Ok(RunResult {
-        trace: sim.into_trace(),
-        graph: realized.graph,
-        flows,
-        failure,
-        t_fail,
-        detection: config.link.detection_delay,
-        traffic_window: (t_start, t_end),
-        warmup_end,
-        stats,
-        flow_reports,
-    })
+    let recorder = sim.take_recorder();
+    Ok((
+        RunResult {
+            trace: sim.into_trace(),
+            graph: realized.graph,
+            flows,
+            failure,
+            t_fail,
+            detection: config.link.detection_delay,
+            traffic_window: (t_start, t_end),
+            warmup_end,
+            stats,
+            flow_reports,
+        },
+        recorder,
+    ))
 }
 
 // Sweep workers move finished results (and slot errors) back to the

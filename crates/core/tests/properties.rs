@@ -131,4 +131,53 @@ proptest! {
         let result = run(&cfg).expect("run succeeds");
         prop_assert_eq!(summarize(&result), summarize(&result));
     }
+
+    /// The single-pass streaming fold produces the exact `RunSummary` the
+    /// trace-based path does, for every protocol/degree/seed.
+    #[test]
+    fn streaming_summary_equals_trace_summary(
+        protocol in protocol_strategy(),
+        degree in degree_strategy(),
+        seed in 0u64..10_000,
+    ) {
+        let cfg = ExperimentConfig::paper(protocol, degree, seed);
+        let result = run(&cfg).expect("run succeeds");
+        prop_assert_eq!(
+            summarize_streaming(&result).expect("streaming summary"),
+            summarize(&result).expect("trace summary")
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Welford's one-pass aggregate agrees with the naive two-pass
+    /// mean/variance formulas to within floating-point noise.
+    #[test]
+    fn aggregate_matches_two_pass(
+        raw in prop::collection::vec((0u64..2_000_000, 1u64..1_000), 1..40),
+    ) {
+        let values: Vec<f64> = raw
+            .iter()
+            .map(|&(num, den)| num as f64 / den as f64)
+            .collect();
+        let agg = Aggregate::of(&values).expect("nonempty sample");
+
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        let std_dev = var.sqrt();
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+        let scale = mean.abs().max(1.0);
+        prop_assert!((agg.mean - mean).abs() <= 1e-9 * scale,
+            "mean {} vs two-pass {}", agg.mean, mean);
+        prop_assert!((agg.std_dev - std_dev).abs() <= 1e-9 * scale,
+            "std_dev {} vs two-pass {}", agg.std_dev, std_dev);
+        prop_assert_eq!(agg.min, min);
+        prop_assert_eq!(agg.max, max);
+        prop_assert_eq!(agg.n, values.len());
+    }
 }

@@ -112,6 +112,8 @@ pub(crate) struct EventQueue {
     free: Vec<u32>,
     next_seq: u64,
     now: SimTime,
+    /// Peak number of simultaneously pending events.
+    high_water: u64,
 }
 
 impl Default for EventQueue {
@@ -128,6 +130,7 @@ impl EventQueue {
             free: Vec::with_capacity(INITIAL_CAPACITY),
             next_seq: 0,
             now: SimTime::ZERO,
+            high_water: 0,
         }
     }
 
@@ -165,6 +168,7 @@ impl EventQueue {
             seq,
             slot,
         });
+        self.high_water = self.high_water.max(self.heap.len() as u64);
     }
 
     /// Pops the next event, advancing the clock to its timestamp.
@@ -187,6 +191,11 @@ impl EventQueue {
     /// Number of pending events.
     pub(crate) fn len(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Peak number of simultaneously pending events over the queue's life.
+    pub(crate) fn high_water(&self) -> u64 {
+        self.high_water
     }
 
     /// Advances the clock to `t` without processing anything (the end of a

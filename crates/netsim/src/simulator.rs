@@ -76,6 +76,8 @@ pub struct SimStats {
     /// Retransmissions of reliable control frames forced by impairment
     /// loss (each shows up as extra delivery delay, never as a drop).
     pub control_retransmits: u64,
+    /// Peak number of simultaneously pending events in the calendar.
+    pub queue_high_water: u64,
 }
 
 /// Result of walking the FIBs from a source toward a destination.
@@ -273,6 +275,7 @@ impl SimulatorBuilder {
             trace_config: self.trace_config,
             stats: SimStats::default(),
             started: false,
+            recorder: None,
         })
     }
 }
@@ -294,6 +297,10 @@ pub struct Simulator {
     trace_config: TraceConfig,
     stats: SimStats,
     started: bool,
+    /// Optional span recorder: engine phases are measured against it when
+    /// attached, and every check below is a branch on `Option::is_some`,
+    /// so unobserved runs pay (almost) nothing.
+    recorder: Option<Box<obs::span::Recorder>>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -329,7 +336,32 @@ impl Simulator {
     /// Engine counters.
     #[must_use]
     pub fn stats(&self) -> SimStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.queue_high_water = self.queue.high_water();
+        stats
+    }
+
+    /// Attaches a span recorder. Engine activity from here on is measured
+    /// against it: each processed event opens an
+    /// [`obs::span::EVENT_DISPATCH`] span at its simulated timestamp, with
+    /// nested [`obs::span::PROTOCOL_PROCESSING`] and
+    /// [`obs::span::TRACE_RECORDING`] spans inside. With the recorder's
+    /// default manual clock the recording is a deterministic function of
+    /// the run; an external (wall-clock) recorder turns the same spans
+    /// into a profile.
+    pub fn set_recorder(&mut self, recorder: Box<obs::span::Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Detaches and returns the recorder, if one was attached.
+    pub fn take_recorder(&mut self) -> Option<Box<obs::span::Recorder>> {
+        self.recorder.take()
+    }
+
+    /// Mutable access to the attached recorder (for callers recording
+    /// their own counters alongside engine spans).
+    pub fn recorder_mut(&mut self) -> Option<&mut obs::span::Recorder> {
+        self.recorder.as_deref_mut()
     }
 
     /// The trace recorded so far.
@@ -633,11 +665,13 @@ impl Simulator {
             if t > until {
                 break;
             }
-            let Some((_, kind)) = self.queue.pop() else {
+            let Some((t, kind)) = self.queue.pop() else {
                 break;
             };
             self.stats.events_processed += 1;
+            self.obs_event_start(t);
             self.handle(kind);
+            self.obs_exit();
         }
         self.queue.advance_to(until);
     }
@@ -672,11 +706,13 @@ impl Simulator {
                     at: self.now(),
                 });
             }
-            let Some((_, kind)) = self.queue.pop() else {
+            let Some((t, kind)) = self.queue.pop() else {
                 break;
             };
             self.stats.events_processed += 1;
+            self.obs_event_start(t);
             self.handle(kind);
+            self.obs_exit();
         }
         self.queue.advance_to(until);
         Ok(())
@@ -686,19 +722,60 @@ impl Simulator {
     /// last processed event.
     pub fn run_to_completion(&mut self) {
         assert!(self.started, "call Simulator::start before run_to_completion");
-        while let Some((_, kind)) = self.queue.pop() {
+        while let Some((t, kind)) = self.queue.pop() {
             self.stats.events_processed += 1;
+            self.obs_event_start(t);
             self.handle(kind);
+            self.obs_exit();
         }
     }
 
     // ---- internal machinery ----------------------------------------------
 
+    /// Opens the per-event dispatch span, first advancing the recorder's
+    /// (manual) clock to the event's simulated timestamp.
+    #[inline]
+    fn obs_event_start(&mut self, t: SimTime) {
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.set_time(t.as_nanos());
+            rec.enter(obs::span::EVENT_DISPATCH);
+        }
+    }
+
+    /// Opens a span on the attached recorder, if any.
+    #[inline]
+    fn obs_enter(&mut self, name: &'static str) {
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.enter(name);
+        }
+    }
+
+    /// Closes the innermost span on the attached recorder, if any.
+    #[inline]
+    fn obs_exit(&mut self) {
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.exit();
+        }
+    }
+
+    /// Appends to the trace, measured as a [`obs::span::TRACE_RECORDING`]
+    /// span when a recorder is attached.
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        if self.recorder.is_some() {
+            self.obs_enter(obs::span::TRACE_RECORDING);
+            self.trace.push(event);
+            self.obs_exit();
+        } else {
+            self.trace.push(event);
+        }
+    }
+
     fn handle(&mut self, kind: EventKind) {
         match kind {
             EventKind::InjectPacket { packet } => {
                 self.stats.packets_injected += 1;
-                self.trace.push(TraceEvent::PacketInjected {
+                self.record(TraceEvent::PacketInjected {
                     time: self.now(),
                     id: packet.id,
                     src: packet.src,
@@ -742,7 +819,7 @@ impl Simulator {
         self.links[link.index()].config.impairment = impairment;
         self.channels[info.ab.index()].config.impairment = impairment;
         self.channels[info.ba.index()].config.impairment = impairment;
-        self.trace.push(TraceEvent::ImpairmentChanged {
+        self.record(TraceEvent::ImpairmentChanged {
             time: self.now(),
             link,
             loss_ppm: impairment.loss_ppm,
@@ -757,7 +834,7 @@ impl Simulator {
             let dest = NodeId::new(dest as u32);
             let old = self.nodes[node.index()].fib.remove(dest);
             if old.is_some() {
-                self.trace.push(TraceEvent::RouteChanged {
+                self.record(TraceEvent::RouteChanged {
                     time: now,
                     node,
                     dest,
@@ -772,7 +849,7 @@ impl Simulator {
         self.timers
             .retain(|_, (owner, _, target)| !(*owner == node && *target == TimerTarget::Protocol));
         self.protocols[node.index()] = Some(fresh);
-        self.trace.push(TraceEvent::NodeRestarted { time: now, node });
+        self.record(TraceEvent::NodeRestarted { time: now, node });
         self.dispatch(node, |proto, ctx| proto.on_start(ctx));
     }
 
@@ -906,7 +983,7 @@ impl Simulator {
 
     fn record_drop(&mut self, packet: Packet, at: NodeId, reason: DropReason) {
         self.stats.packets_dropped += 1;
-        self.trace.push(TraceEvent::PacketDropped {
+        self.record(TraceEvent::PacketDropped {
             time: self.now(),
             id: packet.id,
             node: at,
@@ -920,7 +997,7 @@ impl Simulator {
     fn forward_packet(&mut self, at: NodeId, mut packet: Packet) {
         if packet.dst == at {
             self.stats.packets_delivered += 1;
-            self.trace.push(TraceEvent::PacketDelivered {
+            self.record(TraceEvent::PacketDelivered {
                 time: self.now(),
                 id: packet.id,
                 node: at,
@@ -955,7 +1032,7 @@ impl Simulator {
         };
         packet.hops += 1;
         if self.trace_config.record_hops {
-            self.trace.push(TraceEvent::PacketForwarded {
+            self.record(TraceEvent::PacketForwarded {
                 time: self.now(),
                 id: packet.id,
                 node: at,
@@ -988,7 +1065,7 @@ impl Simulator {
             return;
         }
         self.links[link.index()].up = false;
-        self.trace.push(TraceEvent::LinkFailed {
+        self.record(TraceEvent::LinkFailed {
             time: now,
             link,
             a: info.a,
@@ -1027,7 +1104,7 @@ impl Simulator {
         self.links[link.index()].up = true;
         self.channels[info.ab.index()].up = true;
         self.channels[info.ba.index()].up = true;
-        self.trace.push(TraceEvent::LinkRecovered {
+        self.record(TraceEvent::LinkRecovered {
             time: now,
             link,
             a: info.a,
@@ -1056,7 +1133,7 @@ impl Simulator {
             }
         }
         let Some(neighbor) = neighbor else { return };
-        self.trace.push(TraceEvent::LinkStateDetected {
+        self.record(TraceEvent::LinkStateDetected {
             time: self.now(),
             node,
             neighbor,
@@ -1079,10 +1156,12 @@ impl Simulator {
         let Some(mut proto) = self.protocols[node.index()].take() else {
             return;
         };
+        self.obs_enter(obs::span::PROTOCOL_PROCESSING);
         {
             let mut ctx = ProtocolContext { sim: self, node };
             f(proto.as_mut(), &mut ctx);
         }
+        self.obs_exit();
         self.protocols[node.index()] = Some(proto);
     }
 
@@ -1094,10 +1173,12 @@ impl Simulator {
         let Some(mut app) = self.apps[node.index()].take() else {
             return;
         };
+        self.obs_enter(obs::span::PROTOCOL_PROCESSING);
         {
             let mut ctx = AppContext { sim: self, node };
             f(app.as_mut(), &mut ctx);
         }
+        self.obs_exit();
         self.apps[node.index()] = Some(app);
     }
 }
@@ -1192,7 +1273,7 @@ impl ProtocolContext<'_> {
         self.sim.stats.control_messages_sent += 1;
         self.sim.stats.control_bytes_sent += u64::from(bytes);
         if self.sim.trace_config.record_control {
-            self.sim.trace.push(TraceEvent::ControlSent {
+            self.sim.record(TraceEvent::ControlSent {
                 time: self.sim.now(),
                 from: self.node,
                 to,
@@ -1237,7 +1318,7 @@ impl ProtocolContext<'_> {
     pub fn install_route(&mut self, dest: NodeId, next_hop: NodeId) {
         let old = self.sim.nodes[self.node.index()].fib.set(dest, next_hop);
         if old != Some(next_hop) {
-            self.sim.trace.push(TraceEvent::RouteChanged {
+            self.sim.record(TraceEvent::RouteChanged {
                 time: self.sim.now(),
                 node: self.node,
                 dest,
@@ -1251,7 +1332,7 @@ impl ProtocolContext<'_> {
     pub fn remove_route(&mut self, dest: NodeId) {
         let old = self.sim.nodes[self.node.index()].fib.remove(dest);
         if old.is_some() {
-            self.sim.trace.push(TraceEvent::RouteChanged {
+            self.sim.record(TraceEvent::RouteChanged {
                 time: self.sim.now(),
                 node: self.node,
                 dest,
@@ -1313,7 +1394,7 @@ impl AppContext<'_> {
             .with_ttl(ttl)
             .with_tag(tag);
         self.sim.stats.packets_injected += 1;
-        self.sim.trace.push(TraceEvent::PacketInjected {
+        self.sim.record(TraceEvent::PacketInjected {
             time: self.sim.now(),
             id,
             src: self.node,

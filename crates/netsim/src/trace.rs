@@ -141,6 +141,101 @@ pub enum TraceEvent {
 }
 
 impl TraceEvent {
+    /// Renders the record as one stable text line for golden-trace
+    /// fixtures: kind, raw nanosecond timestamp, then the fields in
+    /// declaration order. The format is part of the fixture contract —
+    /// changing it invalidates recorded goldens.
+    #[must_use]
+    pub fn render_line(&self) -> String {
+        fn opt(node: &Option<NodeId>) -> String {
+            node.map_or_else(|| "-".to_string(), |n| n.to_string())
+        }
+        match self {
+            TraceEvent::PacketInjected { time, id, src, dst } => format!(
+                "inject t={} id={id} src={src} dst={dst}",
+                time.as_nanos()
+            ),
+            TraceEvent::PacketForwarded {
+                time,
+                id,
+                node,
+                next_hop,
+            } => format!(
+                "forward t={} id={id} node={node} next={next_hop}",
+                time.as_nanos()
+            ),
+            TraceEvent::PacketDelivered {
+                time,
+                id,
+                node,
+                hops,
+                sent_at,
+            } => format!(
+                "deliver t={} id={id} node={node} hops={hops} sent={}",
+                time.as_nanos(),
+                sent_at.as_nanos()
+            ),
+            TraceEvent::PacketDropped {
+                time,
+                id,
+                node,
+                reason,
+                sent_at,
+            } => format!(
+                "drop t={} id={id} node={node} reason={reason:?} sent={}",
+                time.as_nanos(),
+                sent_at.as_nanos()
+            ),
+            TraceEvent::RouteChanged {
+                time,
+                node,
+                dest,
+                old,
+                new,
+            } => format!(
+                "route t={} node={node} dest={dest} old={} new={}",
+                time.as_nanos(),
+                opt(old),
+                opt(new)
+            ),
+            TraceEvent::ControlSent {
+                time,
+                from,
+                to,
+                bytes,
+            } => format!(
+                "control t={} from={from} to={to} bytes={bytes}",
+                time.as_nanos()
+            ),
+            TraceEvent::LinkFailed { time, link, a, b } => {
+                format!("linkfail t={} link={link} a={a} b={b}", time.as_nanos())
+            }
+            TraceEvent::LinkRecovered { time, link, a, b } => {
+                format!("linkrecover t={} link={link} a={a} b={b}", time.as_nanos())
+            }
+            TraceEvent::LinkStateDetected {
+                time,
+                node,
+                neighbor,
+                up,
+            } => format!(
+                "detect t={} node={node} neighbor={neighbor} up={up}",
+                time.as_nanos()
+            ),
+            TraceEvent::ImpairmentChanged {
+                time,
+                link,
+                loss_ppm,
+            } => format!(
+                "impair t={} link={link} loss_ppm={loss_ppm}",
+                time.as_nanos()
+            ),
+            TraceEvent::NodeRestarted { time, node } => {
+                format!("restart t={} node={node}", time.as_nanos())
+            }
+        }
+    }
+
     /// The timestamp of this record.
     #[must_use]
     pub fn time(&self) -> SimTime {
@@ -239,6 +334,19 @@ impl Trace {
     /// Iterates over records.
     pub fn iter(&self) -> std::slice::Iter<'_, TraceEvent> {
         self.events.iter()
+    }
+
+    /// Renders the whole trace as stable text, one
+    /// [`TraceEvent::render_line`] per record — the byte stream compared
+    /// (and compressed) by golden-trace regression tests.
+    #[must_use]
+    pub fn render_lines(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            out.push_str(&event.render_line());
+            out.push('\n');
+        }
+        out
     }
 
     /// Counts records by kind — a quick sanity profile of a run.
@@ -373,5 +481,40 @@ mod tests {
         let cfg = TraceConfig::default();
         assert!(cfg.record_hops);
         assert!(cfg.record_control);
+    }
+
+    #[test]
+    fn render_lines_is_stable_text() {
+        let t = Trace::from_events(vec![
+            TraceEvent::PacketInjected {
+                time: SimTime::from_millis(1),
+                id: PacketId::new(3),
+                src: NodeId::new(0),
+                dst: NodeId::new(5),
+            },
+            TraceEvent::RouteChanged {
+                time: SimTime::from_millis(2),
+                node: NodeId::new(1),
+                dest: NodeId::new(5),
+                old: None,
+                new: Some(NodeId::new(2)),
+            },
+            TraceEvent::PacketDropped {
+                time: SimTime::from_millis(3),
+                id: PacketId::new(3),
+                node: NodeId::new(2),
+                reason: DropReason::NoRoute,
+                sent_at: SimTime::from_millis(1),
+            },
+        ]);
+        let text = t.render_lines();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "inject t=1000000 id=p3 src=n0 dst=n5");
+        assert_eq!(lines[1], "route t=2000000 node=n1 dest=n5 old=- new=n2");
+        assert_eq!(
+            lines[2],
+            "drop t=3000000 id=p3 node=n2 reason=NoRoute sent=1000000"
+        );
+        assert_eq!(t.render_lines(), text);
     }
 }

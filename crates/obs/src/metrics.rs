@@ -1,0 +1,260 @@
+//! Named counters and histograms with deterministic iteration and a
+//! stable text rendering.
+//!
+//! Names are `&'static str` so recording never allocates; the registry
+//! stores them in a `BTreeMap`, so every iteration, rendering and merge
+//! is in lexicographic name order — byte-identical output for identical
+//! recorded values, whatever the recording order was.
+
+use std::collections::BTreeMap;
+
+/// A value distribution: count, sum, extremes and power-of-two buckets.
+///
+/// Bucket `i` counts values whose bit length is `i` (bucket 0 holds the
+/// value zero), giving a log2 histogram without configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, `None` before the first record.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, `None` before the first record.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Integer mean (sum / count), `None` before the first record.
+    #[must_use]
+    pub fn mean(&self) -> Option<u64> {
+        (self.count > 0).then(|| self.sum / self.count)
+    }
+
+    /// The log2 bucket counts (bucket `i` = values of bit length `i`).
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; 65] {
+        &self.buckets
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+    }
+}
+
+/// Monotonically growing, deterministically ordered counters and
+/// histograms.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds `delta` to the counter `name` (created at zero on first use).
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        let slot = self.counters.entry(name).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    /// The current value of counter `name` (zero if never touched).
+    #[must_use]
+    pub fn counter(&self, name: &'static str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records one observation into the histogram `name`.
+    pub fn record(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// The histogram `name`, if anything was recorded under it.
+    #[must_use]
+    pub fn histogram(&self, name: &'static str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(name, value)| (*name, *value))
+    }
+
+    /// Histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(name, h)| (*name, h))
+    }
+
+    /// Folds another registry into this one (counters add, histograms
+    /// merge).
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, value) in &other.counters {
+            let slot = self.counters.entry(name).or_insert(0);
+            *slot = slot.saturating_add(*value);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name).or_default().merge(h);
+        }
+    }
+
+    /// A stable text rendering: one line per counter, one per histogram,
+    /// in name order. Identical recorded values produce identical bytes.
+    #[must_use]
+    pub fn render_lines(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(name);
+            out.push_str(" = ");
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(name);
+            out.push_str(": count=");
+            out.push_str(&h.count.to_string());
+            out.push_str(" sum=");
+            out.push_str(&h.sum.to_string());
+            out.push_str(" min=");
+            out.push_str(&h.min().unwrap_or(0).to_string());
+            out.push_str(" max=");
+            out.push_str(&h.max().unwrap_or(0).to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut r = Registry::new();
+        assert_eq!(r.counter("missing"), 0);
+        r.counter_add("events", 3);
+        r.counter_add("events", 4);
+        assert_eq!(r.counter("events"), 7);
+    }
+
+    #[test]
+    fn histogram_tracks_extremes_and_buckets() {
+        let mut h = Histogram::default();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), None);
+        h.record(0);
+        h.record(1);
+        h.record(1000);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 1001);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert_eq!(h.mean(), Some(333));
+        assert_eq!(h.buckets()[0], 1); // the zero
+        assert_eq!(h.buckets()[1], 1); // the one
+        assert_eq!(h.buckets()[10], 1); // 1000 has bit length 10
+    }
+
+    #[test]
+    fn rendering_is_in_name_order_regardless_of_recording_order() {
+        let mut a = Registry::new();
+        a.counter_add("zeta", 1);
+        a.counter_add("alpha", 2);
+        a.record("span_b", 5);
+        a.record("span_a", 7);
+        let mut b = Registry::new();
+        b.record("span_a", 7);
+        b.counter_add("alpha", 2);
+        b.record("span_b", 5);
+        b.counter_add("zeta", 1);
+        assert_eq!(a.render_lines(), b.render_lines());
+        assert!(a.render_lines().starts_with("alpha = 2\nzeta = 1\n"));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_folds_histograms() {
+        let mut a = Registry::new();
+        a.counter_add("c", 1);
+        a.record("h", 10);
+        let mut b = Registry::new();
+        b.counter_add("c", 2);
+        b.record("h", 2);
+        b.record("h", 30);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        let h = a.histogram("h").expect("merged histogram");
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), Some(2));
+        assert_eq!(h.max(), Some(30));
+    }
+
+    #[test]
+    fn saturating_sums_never_wrap() {
+        let mut h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        let mut r = Registry::new();
+        r.counter_add("c", u64::MAX);
+        r.counter_add("c", 5);
+        assert_eq!(r.counter("c"), u64::MAX);
+    }
+}

@@ -80,6 +80,35 @@ proptest! {
         prop_assert!(a.is_connected());
     }
 
+    /// Mesh shortest-path distances are symmetric, zero exactly on the
+    /// diagonal, and bounded by the grid's worst-case diameter — for
+    /// arbitrary grid sizes and every nominal degree.
+    #[test]
+    fn mesh_distances_symmetric_and_bounded(
+        rows in 3usize..9,
+        cols in 3usize..9,
+        degree in degree_strategy(),
+    ) {
+        let mesh = Mesh::regular(rows, cols, degree);
+        let d = all_pairs_distances(mesh.graph());
+        // Degree 3 omits some lattice links, but never disconnects the
+        // grid or worse than doubles the degree-4 Manhattan diameter.
+        let diameter_bound = 2 * (rows + cols) as u32;
+        for (i, row) in d.iter().enumerate() {
+            for (j, value) in row.iter().enumerate() {
+                prop_assert_eq!(*value, d[j][i], "asymmetry at ({}, {})", i, j);
+                if i == j {
+                    prop_assert_eq!(*value, Some(0));
+                } else {
+                    let dist = value.expect("regular meshes are connected");
+                    prop_assert!(dist >= 1);
+                    prop_assert!(dist <= diameter_bound,
+                        "distance {} exceeds bound {}", dist, diameter_bound);
+                }
+            }
+        }
+    }
+
     /// Distance matrices are symmetric and zero on the diagonal.
     #[test]
     fn distances_symmetric(seed in 0u64..100) {

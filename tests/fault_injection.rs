@@ -244,6 +244,166 @@ fn satisfiable_sweep_still_completes_every_slot() {
 }
 
 #[test]
+fn reordering_forces_go_back_n_retransmissions() {
+    // Heavy reordering (no loss at all): 30% of data frames are held back
+    // 40 ms, long enough for the rest of the window to overtake them. The
+    // go-back-N sink only accepts in-sequence packets, so every overtaken
+    // frame costs a timeout-driven window retransmission — yet the
+    // transfer must still complete, because nothing is ever lost.
+    let mut cfg = impaired_config(
+        ProtocolKind::Spf,
+        MeshDegree::D4,
+        21,
+        Impairment::NONE.with_reordering(0.30, SimDuration::from_millis(40)),
+    );
+    // A tight RTO keeps the run short: at 30% reordering nearly every
+    // window stalls once, and each stall costs one timeout.
+    cfg.traffic.mode = TrafficMode::GoBackN(GoBackNConfig {
+        total_packets: 1_000,
+        rto: SimDuration::from_millis(200),
+        rto_cap: SimDuration::from_secs(2),
+        ..GoBackNConfig::default()
+    });
+    cfg.traffic.lead = SimDuration::from_secs(2);
+    cfg.traffic.tail = SimDuration::from_secs(120);
+    cfg.drain = SimDuration::from_secs(300);
+
+    let result = run(&cfg).expect("run succeeds under reordering");
+    let report = &result.flow_reports[0];
+    assert!(
+        report.retransmissions > 0,
+        "reordering must trigger go-back-N retransmissions"
+    );
+    assert_eq!(
+        report.completed_at.map(|_| report.total),
+        Some(1_000),
+        "pure reordering delays packets, it never loses them: the \
+         transfer must finish"
+    );
+    // Reordering draws from the seeded impairment stream like loss does,
+    // so the whole retransmission schedule is reproducible.
+    let again = run(&cfg).expect("second run succeeds");
+    assert!(result.trace.iter().eq(again.trace.iter()));
+    assert_eq!(
+        report.retransmissions,
+        again.flow_reports[0].retransmissions
+    );
+}
+
+/// A protocol that re-arms a 5-second periodic timer and pings its
+/// neighbors on every tick, making each tick visible in the trace.
+#[derive(Debug, Default)]
+struct TickProto {
+    ticks: Vec<netsim::time::SimTime>,
+}
+
+#[derive(Debug)]
+struct Ping;
+
+impl netsim::protocol::Payload for Ping {
+    fn size_bytes(&self) -> usize {
+        8
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+const TICK: SimDuration = SimDuration::from_secs(5);
+
+impl netsim::protocol::RoutingProtocol for TickProto {
+    fn name(&self) -> &'static str {
+        "tick"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn on_start(&mut self, ctx: &mut netsim::simulator::ProtocolContext<'_>) {
+        ctx.set_timer(TICK, netsim::protocol::TimerToken(1));
+    }
+
+    fn on_timer(
+        &mut self,
+        ctx: &mut netsim::simulator::ProtocolContext<'_>,
+        _token: netsim::protocol::TimerToken,
+    ) {
+        self.ticks.push(ctx.now());
+        for n in ctx.neighbors() {
+            ctx.send(n, Box::new(Ping));
+        }
+        ctx.set_timer(TICK, netsim::protocol::TimerToken(1));
+    }
+}
+
+#[test]
+fn crash_restart_landing_on_a_timer_tick_wipes_the_pending_timer() {
+    use netsim::link::LinkConfig;
+    use netsim::simulator::SimulatorBuilder;
+    use netsim::time::SimTime;
+
+    let mut b = SimulatorBuilder::new();
+    let nodes = b.add_nodes(2);
+    b.add_link(nodes[0], nodes[1], LinkConfig::default())
+        .expect("link");
+    let mut sim = b.build().expect("build");
+    sim.install_protocol(nodes[0], Box::new(TickProto::default()))
+        .expect("install");
+    sim.install_protocol(nodes[1], Box::new(TickProto::default()))
+        .expect("install");
+    // Crash at t=15s — the exact instant the third tick is due — and
+    // reboot at t=20s, the exact instant the (now dead) fourth tick was
+    // scheduled for. Both collisions are same-timestamp event-queue races
+    // the engine must resolve deterministically.
+    sim.schedule_node_crash_restart(
+        SimTime::from_secs(15),
+        nodes[0],
+        SimDuration::from_secs(5),
+        Box::new(TickProto::default()),
+    )
+    .expect("schedule crash");
+    sim.start();
+    sim.run_until(SimTime::from_secs(33));
+
+    let tick_seconds = |node| -> Vec<u64> {
+        sim.protocol(node)
+            .expect("protocol installed")
+            .as_any()
+            .downcast_ref::<TickProto>()
+            .expect("TickProto")
+            .ticks
+            .iter()
+            .map(|t| t.as_nanos() / 1_000_000_000)
+            .collect()
+    };
+    // The neighbor never crashed: its clock ticks straight through.
+    assert_eq!(tick_seconds(nodes[1]), vec![5, 10, 15, 20, 25, 30]);
+    // The replacement instance boots cold at t=20. The crashed instance's
+    // pending t=20 tick must have died with it (same-instant NodeRestart
+    // wins the queue race), so the fresh timer realigns to reboot + 5s.
+    assert_eq!(tick_seconds(nodes[0]), vec![25, 30]);
+
+    // The crashed instance's own ticks are gone with it, but its pings
+    // survive in the trace: the t=15 tick fired at the crash instant
+    // (links fail, the router itself stays up until reboot).
+    let pings_from: Vec<u64> = sim
+        .trace()
+        .iter()
+        .filter_map(|e| match e {
+            netsim::trace::TraceEvent::ControlSent { time, from, .. } if *from == nodes[0] => {
+                Some(time.as_nanos() / 1_000_000_000)
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(pings_from, vec![5, 10, 15, 25, 30]);
+    // The t=15 ping left a router whose only link had just failed: it
+    // must be charged as a lost control message, not delivered.
+    assert!(sim.stats().control_messages_lost >= 1);
+}
+
+#[test]
 fn watchdog_aborts_runaway_runs_with_typed_error() {
     let mut cfg = ExperimentConfig::paper(ProtocolKind::Rip, MeshDegree::D4, 20);
     // Far too small for even the warm-up: the watchdog must fire.

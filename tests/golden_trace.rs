@@ -1,0 +1,117 @@
+//! Golden-trace regression tests: one small fixed-seed run per paper
+//! protocol, with the full `TraceEvent` stream pinned as a compressed
+//! fixture under `tests/golden/`.
+//!
+//! Any engine change that reorders events, alters a tie-break, or drifts
+//! a timer shows up here as a byte-level diff of the rendered trace —
+//! *before* it can silently shift the paper's figures. The fixtures are
+//! compressed with the dependency-free `obs` codec, so they stay small
+//! enough to commit.
+//!
+//! To regenerate after an *intentional* behavior change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test golden_trace
+//! ```
+//!
+//! and commit the updated fixtures together with the change that
+//! justified them.
+
+use convergence::experiment::TopologySpec;
+use convergence::prelude::*;
+use netsim::time::SimDuration;
+use topology::mesh::MeshDegree;
+
+/// The golden scenario: the paper's degree-4 single-link failure shrunk
+/// to a 4×4 mesh with a short, low-rate flow, so each fixture stays a
+/// few kilobytes compressed while still exercising failure detection,
+/// convergence, and the full drop taxonomy.
+fn golden_config(protocol: ProtocolKind) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper(protocol, MeshDegree::D4, 20030622);
+    cfg.topology = TopologySpec::Mesh {
+        rows: 4,
+        cols: 4,
+        degree: MeshDegree::D4,
+    };
+    cfg.traffic.lead = SimDuration::from_secs(2);
+    cfg.traffic.tail = SimDuration::from_secs(10);
+    cfg.traffic.rate_pps = 10;
+    cfg.drain = SimDuration::from_secs(30);
+    cfg
+}
+
+fn fixture_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.trace.lz"))
+}
+
+fn check_golden(protocol: ProtocolKind, name: &str) {
+    let cfg = golden_config(protocol);
+    let result = run(&cfg).expect("golden run succeeds");
+    let rendered = result.trace.render_lines();
+    let path = fixture_path(name);
+
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("create dir");
+        std::fs::write(&path, obs::codec::compress(rendered.as_bytes()))
+            .expect("write fixture");
+        return;
+    }
+
+    let compressed = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run GOLDEN_REGEN=1 cargo test --test golden_trace",
+            path.display()
+        )
+    });
+    let golden = obs::codec::decompress(&compressed).expect("fixture decompresses");
+    let golden = String::from_utf8(golden).expect("fixture is utf-8");
+    if rendered != golden {
+        // Point at the first divergent line: a full multi-thousand-line
+        // assert_eq dump is useless for diagnosing a tie-break change.
+        let line = rendered
+            .lines()
+            .zip(golden.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| rendered.lines().count().min(golden.lines().count()));
+        let got = rendered.lines().nth(line).unwrap_or("<end of trace>");
+        let want = golden.lines().nth(line).unwrap_or("<end of trace>");
+        panic!(
+            "{name}: trace diverges from golden fixture at line {} of {} (golden {}):\n  got:  {got}\n  want: {want}",
+            line + 1,
+            rendered.lines().count(),
+            golden.lines().count(),
+        );
+    }
+}
+
+#[test]
+fn golden_trace_rip() {
+    check_golden(ProtocolKind::Rip, "rip");
+}
+
+#[test]
+fn golden_trace_dbf() {
+    check_golden(ProtocolKind::Dbf, "dbf");
+}
+
+#[test]
+fn golden_trace_bgp() {
+    check_golden(ProtocolKind::Bgp, "bgp");
+}
+
+#[test]
+fn golden_trace_bgp3() {
+    check_golden(ProtocolKind::Bgp3, "bgp3");
+}
+
+/// The golden scenario itself is deterministic: two runs render
+/// byte-identical traces (guards the fixtures against flakiness of the
+/// scenario rather than of the engine).
+#[test]
+fn golden_scenario_is_deterministic() {
+    let a = run(&golden_config(ProtocolKind::Dbf)).expect("run");
+    let b = run(&golden_config(ProtocolKind::Dbf)).expect("run");
+    assert_eq!(a.trace.render_lines(), b.trace.render_lines());
+}
