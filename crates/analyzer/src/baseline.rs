@@ -1,26 +1,27 @@
-//! The R001 ratchet: a committed table of tolerated panic-site counts.
+//! The ratchet: a committed table of tolerated R001 and D004 site counts.
 //!
 //! `crates/analyzer/baseline.toml` records, per library file, how many
-//! `unwrap()/expect(/panic!` sites existed when the baseline was last
-//! written. The check fails when any file's count **rises** above its
-//! baseline (new debt), merely notes when it falls (run
-//! `simlint --baseline write` to ratchet down), and treats files absent
-//! from the table as baseline 0 — so new files must be panic-free from
-//! their first commit.
+//! `unwrap()/expect(/panic!` sites (`[r001]`) and `NodeId`-keyed ordered
+//! maps (`[d004]`) existed when the baseline was last written. The check
+//! fails when any file's count **rises** above its baseline (new debt),
+//! merely notes when it falls (run `simlint --baseline write` to ratchet
+//! down), and treats files absent from the tables as baseline 0 — so new
+//! files must be free of both from their first commit.
 //!
-//! The format is a deliberately tiny TOML subset (one `[r001]` table of
-//! quoted-path keys to integer counts) so the analyzer stays
-//! dependency-free.
+//! The format is a deliberately tiny TOML subset (tables of quoted-path
+//! keys to integer counts) so the analyzer stays dependency-free.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;
 
-/// Parsed baseline: path → tolerated R001 count.
+/// Parsed baseline: path → tolerated site count, per ratcheted rule.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Baseline {
     /// Tolerated `unwrap()/expect(/panic!` sites per library file.
     pub r001: BTreeMap<String, usize>,
+    /// Tolerated `NodeId`-keyed ordered-map sites per sim-crate file.
+    pub d004: BTreeMap<String, usize>,
 }
 
 /// Why a baseline file failed to parse.
@@ -46,6 +47,7 @@ impl Baseline {
     /// Returns a [`ParseError`] naming the offending line.
     pub fn parse(text: &str) -> Result<Baseline, ParseError> {
         let mut r001 = BTreeMap::new();
+        let mut d004 = BTreeMap::new();
         let mut section = String::new();
         for (idx, raw) in text.lines().enumerate() {
             let line_no = idx + 1;
@@ -83,11 +85,18 @@ impl Baseline {
                     });
                 }
             };
-            if section == "r001" {
-                r001.insert(key.to_string(), count);
-            } // unknown sections are tolerated for forward compatibility
+            match section.as_str() {
+                "r001" => {
+                    r001.insert(key.to_string(), count);
+                }
+                "d004" => {
+                    d004.insert(key.to_string(), count);
+                }
+                // Unknown sections are tolerated for forward compatibility.
+                _ => {}
+            }
         }
-        Ok(Baseline { r001 })
+        Ok(Baseline { r001, d004 })
     }
 
     /// Loads the baseline from `path`; a missing file is an empty
@@ -109,14 +118,22 @@ impl Baseline {
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::from(
-            "# R001 ratchet: tolerated unwrap()/expect(/panic! sites per library file.\n\
+            "# Ratchet baselines: tolerated sites per library file.\n\
+             # [r001] counts unwrap()/expect(/panic!; [d004] counts\n\
+             # NodeId-keyed BTreeMap/HashMap in sim crates.\n\
              # Regenerate (only ever downward) with:\n\
              #     cargo run -p analyzer -- --baseline write\n\
-             # New library files are held to zero; this table exists so\n\
+             # New library files are held to zero; these tables exist so\n\
              # pre-existing debt fails no builds while new debt fails fast.\n\
              \n[r001]\n",
         );
         for (path, count) in &self.r001 {
+            if *count > 0 {
+                out.push_str(&format!("\"{path}\" = {count}\n"));
+            }
+        }
+        out.push_str("\n[d004]\n");
+        for (path, count) in &self.d004 {
             if *count > 0 {
                 out.push_str(&format!("\"{path}\" = {count}\n"));
             }
@@ -142,6 +159,7 @@ mod tests {
         let mut b = Baseline::default();
         b.r001.insert("crates/netsim/src/event.rs".to_string(), 2);
         b.r001.insert("crates/core/src/a.rs".to_string(), 1);
+        b.d004.insert("crates/rip/src/table.rs".to_string(), 1);
         let text = b.render();
         let parsed = Baseline::parse(&text).expect("round trip");
         assert_eq!(parsed, b);

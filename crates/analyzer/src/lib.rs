@@ -12,6 +12,10 @@
 //!   `crates/bench`: simulation logic runs on [`SimTime`] only;
 //! * **D003 `unseeded-rng`** — no `thread_rng`/`from_entropy`/`OsRng`
 //!   outside tests and benches: all randomness flows from the run seed;
+//! * **D004 `node-keyed-map`** — no `BTreeMap`/`HashMap` keyed by
+//!   `NodeId` in sim-crate library code: node ids are dense indices, so
+//!   the `netsim::dense` slot types replace the tree walk per lookup
+//!   (governed by the [`baseline`] ratchet, like R001);
 //! * **R001 `panic`** — no `unwrap()`/`expect(`/`panic!` in library code
 //!   (tests, benches, examples and binaries are exempt), governed by the
 //!   committed [`baseline`] ratchet: existing debt is tolerated, new debt

@@ -87,21 +87,21 @@ fn main() -> ExitCode {
 
     let baseline_path = root.join("crates/analyzer/baseline.toml");
     if opts.write_baseline {
-        let current = analysis.r001_counts();
+        let current = analysis.counts();
         if let Err(e) = std::fs::write(&baseline_path, current.render()) {
             eprintln!("simlint: cannot write {}: {e}", baseline_path.display());
             return ExitCode::from(2);
         }
-        let total: usize = current.r001.values().sum();
+        let r001: usize = current.r001.values().sum();
+        let d004: usize = current.d004.values().sum();
         println!(
-            "simlint: wrote {} ({} files, {total} tolerated R001 sites)",
-            baseline_path.display(),
-            current.r001.len()
+            "simlint: wrote {} ({r001} tolerated R001 sites, {d004} tolerated D004 sites)",
+            baseline_path.display()
         );
     }
 
     let baseline = if opts.write_baseline {
-        analysis.r001_counts()
+        analysis.counts()
     } else {
         match Baseline::load(&baseline_path) {
             Ok(b) => b,
@@ -127,10 +127,11 @@ fn main() -> ExitCode {
 
     if failures.is_empty() {
         if !opts.quiet {
-            let files = analysis.r001.len();
-            let sites: usize = analysis.r001.values().map(Vec::len).sum();
+            let r001: usize = analysis.r001.values().map(Vec::len).sum();
+            let d004: usize = analysis.d004.values().map(Vec::len).sum();
             println!(
-                "simlint: clean ({sites} tolerated R001 sites across {files} files, ratchet ok)"
+                "simlint: clean ({r001} tolerated R001 sites, {d004} tolerated D004 sites, \
+                 ratchet ok)"
             );
         }
         ExitCode::SUCCESS

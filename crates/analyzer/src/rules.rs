@@ -5,14 +5,18 @@
 //! | D001 | `unordered-map` | no `HashMap`/`HashSet` in sim/protocol crates         |
 //! | D002 | `wall-clock`    | no `Instant::now`/`SystemTime::now` outside `bench`   |
 //! | D003 | `unseeded-rng`  | no `thread_rng`/`from_entropy`/`OsRng` outside tests  |
+//! | D004 | `node-keyed-map`| no `BTreeMap`/`HashMap` keyed by `NodeId` in sim crates |
 //! | R001 | `panic`         | no `unwrap()`/`expect(`/`panic!` in library code      |
 //! | S001 | `unsafe`        | lib crates carry `#![forbid(unsafe_code)]`, no `unsafe` |
 //! | A001 | —               | `simlint:` annotations must be well-formed            |
 //!
-//! D/S rules are hard failures unless suppressed by an inline
-//! `// simlint: allow(<name>, reason = "...")` annotation; R001 is
-//! governed by the committed baseline ratchet instead (see
-//! [`crate::baseline`]).
+//! D001–D003 and S001 are hard failures unless suppressed by an inline
+//! `// simlint: allow(<name>, reason = "...")` annotation; R001 and D004
+//! are governed by the committed baseline ratchet instead (see
+//! [`crate::baseline`]) on top of the same annotation syntax. D004 exists
+//! because node-keyed ordered maps on the hot path were replaced by the
+//! dense-index types in `netsim::dense` — a tree walk per neighbor lookup
+//! is exactly the cost the migration removed, so new sites are debt.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -42,6 +46,8 @@ pub enum RuleId {
     D002,
     /// Unseeded randomness outside tests/benches.
     D003,
+    /// `BTreeMap`/`HashMap` keyed by `NodeId` in sim crates (ratcheted).
+    D004,
     /// Panics in library code (ratcheted).
     R001,
     /// Missing `#![forbid(unsafe_code)]` or an `unsafe` token.
@@ -58,6 +64,7 @@ impl RuleId {
             RuleId::D001 => "unordered-map",
             RuleId::D002 => "wall-clock",
             RuleId::D003 => "unseeded-rng",
+            RuleId::D004 => "node-keyed-map",
             RuleId::R001 => "panic",
             RuleId::S001 => "unsafe",
             RuleId::A001 => "annotation",
@@ -69,6 +76,7 @@ impl RuleId {
             RuleId::D001,
             RuleId::D002,
             RuleId::D003,
+            RuleId::D004,
             RuleId::R001,
             RuleId::S001,
         ]
@@ -83,6 +91,7 @@ impl fmt::Display for RuleId {
             RuleId::D001 => "D001",
             RuleId::D002 => "D002",
             RuleId::D003 => "D003",
+            RuleId::D004 => "D004",
             RuleId::R001 => "R001",
             RuleId::S001 => "S001",
             RuleId::A001 => "A001",
@@ -206,7 +215,8 @@ fn collect_allows(ctx: &FileContext, file: &LexedFile) -> (Vec<Allow>, Vec<Findi
                     path: ctx.rel.clone(),
                     line,
                     message: format!("unknown rule {name:?} in simlint annotation"),
-                    help: "valid rules: unordered-map, wall-clock, unseeded-rng, panic, unsafe"
+                    help: "valid rules: unordered-map, wall-clock, unseeded-rng, \
+                           node-keyed-map, panic, unsafe"
                         .to_string(),
                 }),
             },
@@ -252,6 +262,9 @@ pub struct FileReport {
     /// Lines (1-based) with R001 (`unwrap()/expect(/panic!`) sites in
     /// library code, after annotation suppression.
     pub r001_lines: Vec<usize>,
+    /// Lines (1-based) with D004 (`NodeId`-keyed ordered map) sites in
+    /// sim-crate code, after annotation suppression.
+    pub d004_lines: Vec<usize>,
 }
 
 /// Runs every line-level rule over one lexed file.
@@ -268,10 +281,12 @@ pub fn check_file(ctx: &FileContext, file: &LexedFile) -> FileReport {
     let d001_on = sim_crate;
     let d002_on = ctx.kind != FileKind::Bench;
     let d003_on = !matches!(ctx.kind, FileKind::Test | FileKind::Bench);
+    let d004_on = sim_crate && ctx.kind == FileKind::Lib;
     let r001_on = ctx.kind == FileKind::Lib;
     let s001_on = ctx.kind == FileKind::Lib;
 
     let mut r001_lines = Vec::new();
+    let mut d004_lines = Vec::new();
     for (idx, code) in file.code.iter().enumerate() {
         let line = idx + 1;
         let in_test = file.in_test.get(idx).copied().unwrap_or(false);
@@ -324,6 +339,12 @@ pub fn check_file(ctx: &FileContext, file: &LexedFile) -> FileReport {
                 }
             }
         }
+        if d004_on && !in_test && !allowed(RuleId::D004, line) {
+            let hits = count_node_keyed_maps(code);
+            for _ in 0..hits {
+                d004_lines.push(line);
+            }
+        }
         if r001_on && !in_test && !allowed(RuleId::R001, line) {
             let hits = count_panics(code);
             for _ in 0..hits {
@@ -345,6 +366,7 @@ pub fn check_file(ctx: &FileContext, file: &LexedFile) -> FileReport {
     FileReport {
         findings,
         r001_lines,
+        d004_lines,
     }
 }
 
@@ -367,6 +389,37 @@ pub fn check_forbid_unsafe(ctx: &FileContext, file: &LexedFile) -> Option<Findin
             help: "add #![forbid(unsafe_code)] to the crate root".to_string(),
         })
     }
+}
+
+/// Number of `BTreeMap<NodeId, …>` / `HashMap<NodeId, …>` sites on one
+/// blanked code line: an ident-bounded map token whose first generic
+/// argument is `NodeId`. `BTreeMap<PacketId, …>` and maps that merely
+/// *contain* `NodeId` values do not count — the rule targets the
+/// tree-walk-per-node-lookup pattern the dense-index types replace.
+#[must_use]
+pub fn count_node_keyed_maps(code: &str) -> usize {
+    ["BTreeMap", "HashMap"]
+        .iter()
+        .map(|token| {
+            word_positions(code, token)
+                .into_iter()
+                .filter(|&p| {
+                    let rest = code[p + token.len()..].trim_start();
+                    match rest.strip_prefix('<') {
+                        Some(args) => {
+                            let args = args.trim_start();
+                            args.strip_prefix("NodeId").is_some_and(|after| {
+                                !after.starts_with(|c: char| {
+                                    c.is_ascii_alphanumeric() || c == '_'
+                                })
+                            })
+                        }
+                        None => false,
+                    }
+                })
+                .count()
+        })
+        .sum()
 }
 
 /// Number of `unwrap()` / `expect(` / `panic!` sites on one blanked code
@@ -422,6 +475,7 @@ pub fn allow_names() -> BTreeSet<&'static str> {
         RuleId::D001,
         RuleId::D002,
         RuleId::D003,
+        RuleId::D004,
         RuleId::R001,
         RuleId::S001,
     ]
@@ -581,8 +635,57 @@ mod tests {
     #[test]
     fn allow_names_are_stable() {
         let names = allow_names();
-        for n in ["unordered-map", "wall-clock", "unseeded-rng", "panic", "unsafe"] {
+        for n in [
+            "unordered-map",
+            "wall-clock",
+            "unseeded-rng",
+            "node-keyed-map",
+            "panic",
+            "unsafe",
+        ] {
             assert!(names.contains(n));
         }
+    }
+
+    #[test]
+    fn d004_counts_node_keyed_maps_only() {
+        assert_eq!(count_node_keyed_maps("x: BTreeMap<NodeId, SimTime>,"), 1);
+        assert_eq!(count_node_keyed_maps("y: HashMap < NodeId , u32 >,"), 1);
+        assert_eq!(count_node_keyed_maps("z: BTreeMap<NodeId, BTreeMap<NodeId, V>>,"), 2);
+        // Keyed by something else, or NodeId only as a value/prefix.
+        assert_eq!(count_node_keyed_maps("a: BTreeMap<PacketId, PacketLog>,"), 0);
+        assert_eq!(count_node_keyed_maps("b: BTreeMap<Edge, Vec<NodeId>>,"), 0);
+        assert_eq!(count_node_keyed_maps("c: BTreeMap<NodeIdx, V>,"), 0);
+        assert_eq!(count_node_keyed_maps("d: MyBTreeMap<NodeId, V>,"), 0);
+        assert_eq!(count_node_keyed_maps("e: BTreeSet<NodeId>,"), 0);
+    }
+
+    #[test]
+    fn d004_is_scoped_to_sim_crate_lib_code() {
+        let file = lex("let m: BTreeMap<NodeId, u32> = BTreeMap::new();\n");
+        let hit = check_file(&lib_ctx("crates/netsim/src/x.rs"), &file);
+        assert_eq!(hit.d004_lines, vec![1]);
+        assert!(hit.findings.is_empty(), "D004 is ratcheted, not a hard finding");
+        // Outside the sim crates, or outside lib code, the rule is off.
+        assert!(check_file(&lib_ctx("crates/analyzer/src/x.rs"), &file)
+            .d004_lines
+            .is_empty());
+        assert!(check_file(&lib_ctx("crates/netsim/tests/x.rs"), &file)
+            .d004_lines
+            .is_empty());
+        assert!(check_file(&lib_ctx("crates/bench/src/lib.rs"), &file)
+            .d004_lines
+            .is_empty());
+    }
+
+    #[test]
+    fn d004_allow_annotation_suppresses() {
+        let src = "\
+// simlint: allow(node-keyed-map, reason = \"cold path, sparse ids\")
+let m: BTreeMap<NodeId, u32> = BTreeMap::new();
+";
+        let report = check_file(&lib_ctx("crates/netsim/src/x.rs"), &lex(src));
+        assert!(report.d004_lines.is_empty());
+        assert!(report.findings.is_empty());
     }
 }

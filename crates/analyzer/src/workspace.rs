@@ -14,65 +14,100 @@ pub struct Analysis {
     pub findings: Vec<Finding>,
     /// Per-library-file R001 site lines (1-based), path-sorted.
     pub r001: BTreeMap<String, Vec<usize>>,
+    /// Per-sim-crate-file D004 site lines (1-based), path-sorted.
+    pub d004: BTreeMap<String, Vec<usize>>,
 }
 
 impl Analysis {
-    /// Current R001 counts in baseline form.
+    /// Current ratcheted-rule counts in baseline form.
     #[must_use]
-    pub fn r001_counts(&self) -> Baseline {
-        Baseline {
-            r001: self
-                .r001
-                .iter()
+    pub fn counts(&self) -> Baseline {
+        let collect = |m: &BTreeMap<String, Vec<usize>>| {
+            m.iter()
                 .filter(|(_, lines)| !lines.is_empty())
                 .map(|(p, lines)| (p.clone(), lines.len()))
-                .collect(),
+                .collect()
+        };
+        Baseline {
+            r001: collect(&self.r001),
+            d004: collect(&self.d004),
         }
     }
 
-    /// Compares current R001 counts against a baseline, producing one
-    /// finding per regressed file and a note per improvable file.
+    /// Compares current ratcheted-rule counts against a baseline,
+    /// producing one finding per regressed file and a note per improvable
+    /// file.
     #[must_use]
     pub fn ratchet(&self, baseline: &Baseline) -> (Vec<Finding>, Vec<String>) {
         let mut regressions = Vec::new();
         let mut improvements = Vec::new();
-        for (path, lines) in &self.r001 {
-            let tolerated = baseline.r001.get(path).copied().unwrap_or(0);
-            let count = lines.len();
-            if count > tolerated {
-                let at = lines
-                    .iter()
-                    .map(|l| l.to_string())
-                    .collect::<Vec<_>>()
-                    .join(", ");
-                regressions.push(Finding {
-                    rule: RuleId::R001,
-                    path: path.clone(),
-                    line: lines.first().copied().unwrap_or(1),
-                    message: format!(
-                        "{count} unwrap()/expect(/panic! sites in library code \
-                         (baseline tolerates {tolerated}); sites at lines {at}"
-                    ),
-                    help: "return a Result (RunError/BuildError/MetricsError) instead; \
-                           the ratchet only ever goes down"
-                        .to_string(),
-                });
-            } else if count < tolerated {
-                improvements.push(format!(
-                    "{path}: {count} panic sites, baseline tolerates {tolerated} \
-                     — run `cargo run -p analyzer -- --baseline write` to ratchet down"
-                ));
-            }
-        }
-        // Baseline entries for deleted files are improvable too.
-        for (path, tolerated) in &baseline.r001 {
-            if *tolerated > 0 && !self.r001.contains_key(path) {
-                improvements.push(format!(
-                    "{path}: file gone or panic-free, baseline still tolerates {tolerated}"
-                ));
-            }
-        }
+        ratchet_rule(
+            RuleId::R001,
+            &self.r001,
+            &baseline.r001,
+            "unwrap()/expect(/panic! sites in library code",
+            "return a Result (RunError/BuildError/MetricsError) instead; \
+             the ratchet only ever goes down",
+            &mut regressions,
+            &mut improvements,
+        );
+        ratchet_rule(
+            RuleId::D004,
+            &self.d004,
+            &baseline.d004,
+            "NodeId-keyed BTreeMap/HashMap sites in sim-crate code",
+            "use netsim::dense::{DenseMap, DenseSet} instead (node ids are \
+             dense indices); the ratchet only ever goes down",
+            &mut regressions,
+            &mut improvements,
+        );
         (regressions, improvements)
+    }
+}
+
+/// The per-rule half of [`Analysis::ratchet`].
+#[allow(clippy::too_many_arguments)]
+fn ratchet_rule(
+    rule: RuleId,
+    current: &BTreeMap<String, Vec<usize>>,
+    tolerated: &BTreeMap<String, usize>,
+    what: &str,
+    help: &str,
+    regressions: &mut Vec<Finding>,
+    improvements: &mut Vec<String>,
+) {
+    for (path, lines) in current {
+        let allowed = tolerated.get(path).copied().unwrap_or(0);
+        let count = lines.len();
+        if count > allowed {
+            let at = lines
+                .iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            regressions.push(Finding {
+                rule,
+                path: path.clone(),
+                line: lines.first().copied().unwrap_or(1),
+                message: format!(
+                    "{count} {what} (baseline tolerates {allowed}); sites at lines {at}"
+                ),
+                help: help.to_string(),
+            });
+        } else if count < allowed {
+            improvements.push(format!(
+                "{path}: {count} {rule} sites, baseline tolerates {allowed} \
+                 — run `cargo run -p analyzer -- --baseline write` to ratchet down"
+            ));
+        }
+    }
+    // Baseline entries for deleted files are improvable too.
+    for (path, allowed) in tolerated {
+        if *allowed > 0 && !current.contains_key(path) {
+            improvements.push(format!(
+                "{path}: file gone or {rule}-free, baseline still tolerates {allowed}"
+            ));
+        }
     }
 }
 
@@ -154,7 +189,10 @@ pub fn analyze(root: &Path) -> std::io::Result<Analysis> {
         }
         analysis.findings.append(&mut report.findings);
         if !report.r001_lines.is_empty() {
-            analysis.r001.insert(rel, report.r001_lines);
+            analysis.r001.insert(rel.clone(), report.r001_lines);
+        }
+        if !report.d004_lines.is_empty() {
+            analysis.d004.insert(rel, report.d004_lines);
         }
     }
     analysis

@@ -1,0 +1,15 @@
+#![forbid(unsafe_code)]
+use std::collections::{BTreeMap, HashMap}; // simlint: allow(unordered-map, reason = "fixture: D004 focus")
+
+pub type NodeId = u32;
+pub type PacketId = u64;
+
+pub struct Tables {
+    // Two deliberate D004 sites; the fixture baseline tolerates one.
+    pub first: BTreeMap<NodeId, u32>,
+    pub second: HashMap<NodeId, u32>, // simlint: allow(unordered-map, reason = "fixture: D004 focus")
+    // Keyed by something else: not a D004 site.
+    pub by_packet: BTreeMap<PacketId, u32>,
+    // simlint: allow(node-keyed-map, reason = "fixture: waived site")
+    pub waived: BTreeMap<NodeId, u32>,
+}

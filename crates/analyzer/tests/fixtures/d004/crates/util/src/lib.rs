@@ -1,0 +1,9 @@
+#![forbid(unsafe_code)]
+use std::collections::BTreeMap;
+
+pub type NodeId = u32;
+
+// Not a sim crate: D004 does not apply here.
+pub struct Outside {
+    pub map: BTreeMap<NodeId, u32>,
+}

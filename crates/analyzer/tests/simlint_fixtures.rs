@@ -32,6 +32,7 @@ fn clean_fixture_produces_no_findings() {
     let a = analyzed("clean");
     assert!(a.findings.is_empty(), "unexpected: {:?}", a.findings);
     assert!(a.r001.is_empty());
+    assert!(a.d004.is_empty());
 }
 
 #[test]
@@ -145,6 +146,36 @@ fn new_files_are_held_to_zero() {
     assert_eq!(regressions.len(), 1, "no baseline entry means zero budget");
 }
 
+#[test]
+fn node_keyed_maps_are_counted_for_d004() {
+    let a = analyzed("d004");
+    // Two live sites (the D004-waived one and the PacketId-keyed map do
+    // not count); the non-sim `util` crate is out of scope entirely.
+    assert_eq!(a.d004.get("crates/netsim/src/lib.rs").map(Vec::len), Some(2));
+    assert!(!a.d004.contains_key("crates/util/src/lib.rs"));
+    // D004 sites are ratchet-governed, not hard findings.
+    assert!(a.findings.is_empty(), "unexpected: {:?}", a.findings);
+}
+
+#[test]
+fn d004_ratchet_enforces_baseline_counts() {
+    let a = analyzed("d004");
+
+    let tight = Baseline::parse("[d004]\n\"crates/netsim/src/lib.rs\" = 1\n").unwrap();
+    let (regressions, _) = a.ratchet(&tight);
+    assert_eq!(regressions.len(), 1);
+    assert_eq!(regressions[0].rule, RuleId::D004);
+    assert!(regressions[0].message.contains("baseline tolerates 1"));
+
+    let exact = Baseline::parse("[d004]\n\"crates/netsim/src/lib.rs\" = 2\n").unwrap();
+    let (regressions, improvements) = a.ratchet(&exact);
+    assert!(regressions.is_empty());
+    assert!(improvements.is_empty());
+
+    let (regressions, _) = a.ratchet(&Baseline::default());
+    assert_eq!(regressions.len(), 1, "no baseline entry means zero budget");
+}
+
 fn run_simlint(root: &Path) -> std::process::Output {
     Command::new(env!("CARGO_BIN_EXE_simlint"))
         .args(["--root", root.to_str().unwrap()])
@@ -174,4 +205,14 @@ fn binary_enforces_committed_ratchet_baseline() {
     assert_eq!(out.status.code(), Some(1), "{out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("error[R001]"), "{stdout}");
+}
+
+#[test]
+fn binary_enforces_committed_d004_baseline() {
+    // Two node-keyed maps, the committed baseline tolerates one.
+    let out = run_simlint(&fixture("d004"));
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[D004]"), "{stdout}");
+    assert!(stdout.contains("DenseMap"), "help must point at the dense types: {stdout}");
 }

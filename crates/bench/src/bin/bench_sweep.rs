@@ -80,7 +80,14 @@ fn main() {
     // below 2 still benchmarks a multi-worker leg.
     let jobs = convergence::parallel::effective_jobs(args.jobs).max(4);
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    println!("bench_sweep: {PROTOCOL} {DEGREE}, {runs} runs, {jobs} jobs ({cores} cores)");
+    // Honesty: more workers than cores cannot speed anything up, so the
+    // recorded speedups are judged against the parallelism the machine can
+    // actually deliver.
+    let jobs_effective = jobs.min(cores);
+    println!(
+        "bench_sweep: {PROTOCOL} {DEGREE}, {runs} runs, {jobs} jobs \
+         ({cores} cores, {jobs_effective} effective)"
+    );
 
     // Leg 1: sequential, trace-based (the baseline all else must match).
     let t0 = Instant::now();
@@ -114,12 +121,26 @@ fn main() {
     println!("  parallel/streaming {streaming_s:.3}s");
 
     let rss = peak_rss_kb();
+    let par_speedup = sequential_s / parallel_s;
+    let str_speedup = sequential_s / streaming_s;
+    // A "parallel" leg slower than the sequential baseline is a red flag
+    // (oversubscription, tiny workload, or a scheduling regression); make
+    // it impossible to miss in the recorded JSON.
+    let regressed = par_speedup < 1.0 || str_speedup < 1.0;
+    if regressed {
+        eprintln!(
+            "warning: parallel speedup below 1.0 \
+             (trace {par_speedup:.3}, streaming {str_speedup:.3})"
+        );
+    }
     let json = format!(
         concat!(
             "{{\n",
             "  \"workload\": {{\"protocol\": \"{protocol}\", \"degree\": \"{degree}\", \"runs\": {runs}}},\n",
             "  \"jobs\": {jobs},\n",
             "  \"available_cores\": {cores},\n",
+            "  \"jobs_effective\": {jobs_effective},\n",
+            "  \"speedup_below_one\": {regressed},\n",
             "  \"events_processed_total\": {events},\n",
             "  \"sequential_trace\": {{\"seconds\": {seq}, \"events_per_sec\": {seq_eps}, \"runs_per_sec\": {seq_rps}}},\n",
             "  \"parallel_trace\": {{\"seconds\": {par}, \"events_per_sec\": {par_eps}, \"runs_per_sec\": {par_rps}, \"speedup\": {par_speedup}}},\n",
@@ -134,6 +155,8 @@ fn main() {
         runs = runs,
         jobs = jobs,
         cores = cores,
+        jobs_effective = jobs_effective,
+        regressed = regressed,
         events = events_total,
         seq = json_f64(sequential_s),
         seq_eps = json_f64(events_total as f64 / sequential_s),
@@ -141,11 +164,11 @@ fn main() {
         par = json_f64(parallel_s),
         par_eps = json_f64(events_total as f64 / parallel_s),
         par_rps = json_f64(runs as f64 / parallel_s),
-        par_speedup = json_f64(sequential_s / parallel_s),
+        par_speedup = json_f64(par_speedup),
         str = json_f64(streaming_s),
         str_eps = json_f64(events_total as f64 / streaming_s),
         str_rps = json_f64(runs as f64 / streaming_s),
-        str_speedup = json_f64(sequential_s / streaming_s),
+        str_speedup = json_f64(str_speedup),
         rss = rss.map_or("null".to_string(), |kb| kb.to_string()),
     );
     std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");

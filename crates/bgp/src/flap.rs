@@ -7,10 +7,10 @@
 //! exponential decay brings the penalty back under the reuse threshold —
 //! even if the route has meanwhile become perfectly stable.
 
+use netsim::dense::DenseMap;
 use netsim::ident::NodeId;
 use netsim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Minimum spacing between reuse-timer evaluations; prevents a zero-delay
 /// re-arm loop when the decayed penalty sits just above the threshold.
@@ -102,7 +102,8 @@ struct FlapState {
 #[derive(Debug, Clone, Default)]
 pub struct FlapDamper {
     config: Option<FlapConfig>,
-    states: BTreeMap<(NodeId, NodeId), FlapState>,
+    /// `states[peer][dest]`; both id spaces are dense.
+    states: DenseMap<DenseMap<FlapState>>,
 }
 
 impl FlapDamper {
@@ -123,7 +124,7 @@ impl FlapDamper {
     pub(crate) fn from_valid(config: Option<FlapConfig>) -> Self {
         FlapDamper {
             config,
-            states: BTreeMap::new(),
+            states: DenseMap::new(),
         }
     }
 
@@ -155,12 +156,15 @@ impl FlapDamper {
                 reuse_in: None,
             };
         };
-        let state = self.states.entry((peer, dest)).or_insert(FlapState {
-            penalty: 0.0,
-            stamped_at: now,
-            suppressed: false,
-            withdrawn: false,
-        });
+        let state = self
+            .states
+            .get_or_insert_with(peer, DenseMap::new)
+            .get_or_insert_with(dest, || FlapState {
+                penalty: 0.0,
+                stamped_at: now,
+                suppressed: false,
+                withdrawn: false,
+            });
         let mut penalty = Self::decayed(&config, state, now);
         penalty += match event {
             FlapEvent::Withdrawal => config.withdrawal_penalty,
@@ -191,14 +195,18 @@ impl FlapDamper {
     #[must_use]
     pub fn is_suppressed(&self, peer: NodeId, dest: NodeId) -> bool {
         self.states
-            .get(&(peer, dest))
+            .get(peer)
+            .and_then(|m| m.get(dest))
             .is_some_and(|s| s.suppressed)
     }
 
     /// Whether the last recorded event for the pair was a withdrawal.
     #[must_use]
     pub fn is_withdrawn(&self, peer: NodeId, dest: NodeId) -> bool {
-        self.states.get(&(peer, dest)).is_some_and(|s| s.withdrawn)
+        self.states
+            .get(peer)
+            .and_then(|m| m.get(dest))
+            .is_some_and(|s| s.withdrawn)
     }
 
     /// Re-evaluates a suppressed pair at reuse time. Returns `true` if the
@@ -209,7 +217,7 @@ impl FlapDamper {
         let Some(config) = self.config else {
             return ReuseOutcome::Released;
         };
-        let Some(state) = self.states.get_mut(&(peer, dest)) else {
+        let Some(state) = self.states.get_mut(peer).and_then(|m| m.get_mut(dest)) else {
             return ReuseOutcome::Released;
         };
         if !state.suppressed {
@@ -232,7 +240,7 @@ impl FlapDamper {
 
     /// Forgets all state about a peer (session reset).
     pub fn clear_peer(&mut self, peer: NodeId) {
-        self.states.retain(|&(p, _), _| p != peer);
+        self.states.remove(peer);
     }
 }
 

@@ -1,16 +1,19 @@
 //! The BGP protocol engine.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
+use netsim::dense::{DenseMap, DenseSet};
 use netsim::ident::NodeId;
 use netsim::protocol::{Payload, RoutingProtocol, TimerToken};
 use netsim::simulator::ProtocolContext;
 use routing_core::damping::{DampAction, Damper};
-use routing_core::path::AsPath;
+use routing_core::inline::InlineVec;
+use routing_core::path::{AsPath, PathInterner};
 
 use crate::config::{BgpConfig, MraiScope};
 use crate::flap::{FlapDamper, FlapEvent, ReuseOutcome};
-use crate::message::BgpUpdate;
+use crate::message::{BgpUpdate, INLINE_DESTS};
 use crate::rib::{select, AdjRibIn, BestRoute};
 
 mod timer {
@@ -35,12 +38,21 @@ pub struct Bgp {
     config: BgpConfig,
     adj_in: AdjRibIn,
     loc_rib: Vec<Option<BestRoute>>,
-    dampers: BTreeMap<NodeId, Damper>,
-    pending: BTreeMap<NodeId, BTreeSet<NodeId>>,
-    pair_dampers: BTreeMap<(NodeId, NodeId), Damper>,
-    pair_pending: BTreeSet<(NodeId, NodeId)>,
+    /// `announce_cache[dest]`: the loc-RIB route prepended with the local
+    /// AS, computed once per best-route *change* (not per announcement) so
+    /// MRAI rounds and per-neighbor fan-out only bump a refcount.
+    announce_cache: Vec<Option<AsPath>>,
+    dampers: DenseMap<Damper>,
+    pending: DenseMap<DenseSet>,
+    /// `pair_dampers[neighbor][dest]`.
+    pair_dampers: DenseMap<DenseMap<Damper>>,
+    /// `pair_pending[neighbor]` = destinations awaiting the pair MRAI.
+    pair_pending: DenseMap<DenseSet>,
     /// Bumped when a session resets so stale MRAI timers are ignored.
-    epochs: BTreeMap<NodeId, u64>,
+    epochs: DenseMap<u64>,
+    /// Deduplicating store for AS paths: prepending and re-learning the
+    /// same path returns the shared allocation instead of a fresh one.
+    interner: PathInterner,
     /// RFC 2439 figure-of-merit state (inert when damping is disabled).
     flap: FlapDamper,
     /// Destinations whose best route changed during the current event.
@@ -81,11 +93,13 @@ impl Bgp {
             config,
             adj_in: AdjRibIn::default(),
             loc_rib: Vec::new(),
-            dampers: BTreeMap::new(),
-            pending: BTreeMap::new(),
-            pair_dampers: BTreeMap::new(),
-            pair_pending: BTreeSet::new(),
-            epochs: BTreeMap::new(),
+            announce_cache: Vec::new(),
+            dampers: DenseMap::new(),
+            pending: DenseMap::new(),
+            pair_dampers: DenseMap::new(),
+            pair_pending: DenseMap::new(),
+            epochs: DenseMap::new(),
+            interner: PathInterner::new(),
             changed_batch: Vec::new(),
             withdrawn_batch: Vec::new(),
         }
@@ -98,7 +112,13 @@ impl Bgp {
     }
 
     fn epoch(&self, neighbor: NodeId) -> u64 {
-        self.epochs.get(&neighbor).copied().unwrap_or(0)
+        self.epochs.get(neighbor).copied().unwrap_or(0)
+    }
+
+    /// Interner hit/miss counters (for benchmarks and forensics).
+    #[must_use]
+    pub fn interner_stats(&self) -> (u64, u64) {
+        (self.interner.hits(), self.interner.misses())
     }
 
     /// Re-runs the decision process for `dest`; best-route changes are
@@ -139,40 +159,49 @@ impl Bgp {
                 }
             }
         }
+        let announce = match &best {
+            Some(route) => Some(match route.next_hop {
+                Some(_) => self.interner.prepended(&route.path, ctx.node()),
+                // The locally originated route already starts with us.
+                None => route.path.clone(),
+            }),
+            None => None,
+        };
+        self.announce_cache[dest.index()] = announce;
         self.loc_rib[dest.index()] = best;
     }
 
     /// The path to announce for `dest`, prepended with the local AS.
-    fn announce_path(&self, me: NodeId, dest: NodeId) -> Option<AsPath> {
-        let route = self.loc_rib[dest.index()].as_ref()?;
-        Some(match route.next_hop {
-            Some(_) => route.path.prepended(me),
-            // The locally originated route already starts with `me`.
-            None => route.path.clone(),
-        })
+    ///
+    /// Reads the per-destination cache maintained by [`Bgp::re_decide`]:
+    /// prepending (through the interner) happens once per best-route
+    /// change, so every announcement here is a refcount clone.
+    fn announce_path(&self, dest: NodeId) -> Option<AsPath> {
+        self.announce_cache.get(dest.index())?.clone()
     }
 
     /// Sends the current state of `dests` to `neighbor`: announcements
     /// grouped by path (one update per distinct path, as BGP requires) and
     /// a withdrawal for anything with no best route.
-    fn send_routes(&self, ctx: &mut ProtocolContext<'_>, neighbor: NodeId, dests: &[NodeId]) {
-        let me = ctx.node();
-        let mut groups: BTreeMap<AsPath, Vec<NodeId>> = BTreeMap::new();
-        let mut withdrawn = Vec::new();
+    fn send_routes(&mut self, ctx: &mut ProtocolContext<'_>, neighbor: NodeId, dests: &[NodeId]) {
+        // The destination lists are built as `InlineVec` from the start and
+        // *moved* into the update, so a short announcement never allocates.
+        let mut groups: BTreeMap<AsPath, InlineVec<NodeId, INLINE_DESTS>> = BTreeMap::new();
+        let mut withdrawn: InlineVec<NodeId, INLINE_DESTS> = InlineVec::new();
         for &dest in dests {
             if dest == neighbor {
                 continue; // a peer needs no route to itself
             }
-            match self.announce_path(me, dest) {
+            match self.announce_path(dest) {
                 Some(path) => groups.entry(path).or_default().push(dest),
                 None => withdrawn.push(dest),
             }
         }
         for (path, announced) in groups {
-            ctx.send_reliable(neighbor, Box::new(BgpUpdate::announce(path, announced)));
+            ctx.send_reliable(neighbor, Arc::new(BgpUpdate::announce(path, announced)));
         }
         if !withdrawn.is_empty() {
-            ctx.send_reliable(neighbor, Box::new(BgpUpdate::withdraw(withdrawn)));
+            ctx.send_reliable(neighbor, Arc::new(BgpUpdate::withdraw(withdrawn)));
         }
     }
 
@@ -183,13 +212,13 @@ impl Bgp {
         if !withdrawn.is_empty() {
             for neighbor in ctx.neighbors() {
                 if ctx.neighbor_up(neighbor) {
-                    let for_peer: Vec<NodeId> = withdrawn
+                    let for_peer: InlineVec<NodeId, INLINE_DESTS> = withdrawn
                         .iter()
                         .copied()
                         .filter(|&d| d != neighbor)
                         .collect();
                     if !for_peer.is_empty() {
-                        ctx.send_reliable(neighbor, Box::new(BgpUpdate::withdraw(for_peer)));
+                        ctx.send_reliable(neighbor, Arc::new(BgpUpdate::withdraw(for_peer)));
                     }
                 }
             }
@@ -219,10 +248,10 @@ impl Bgp {
         neighbor: NodeId,
         batch: &[NodeId],
     ) {
+        let config = &self.config;
         let damper = self
             .dampers
-            .entry(neighbor)
-            .or_insert_with(|| Damper::new(self.config.mrai_min(), self.config.mrai_max()));
+            .get_or_insert_with(neighbor, || Damper::new(config.mrai_min(), config.mrai_max()));
         match damper.on_change(ctx.rng()) {
             DampAction::SendNow(window) => {
                 self.send_routes(ctx, neighbor, batch);
@@ -230,7 +259,10 @@ impl Bgp {
                 ctx.set_timer(window, TimerToken::compose(timer::MRAI_NEIGHBOR, arg));
             }
             DampAction::Deferred => {
-                self.pending.entry(neighbor).or_default().extend(batch);
+                let set = self.pending.get_or_insert_with(neighbor, DenseSet::new);
+                for &dest in batch {
+                    set.insert(dest);
+                }
             }
         }
     }
@@ -241,10 +273,11 @@ impl Bgp {
         neighbor: NodeId,
         dest: NodeId,
     ) {
+        let config = &self.config;
         let damper = self
             .pair_dampers
-            .entry((neighbor, dest))
-            .or_insert_with(|| Damper::new(self.config.mrai_min(), self.config.mrai_max()));
+            .get_or_insert_with(neighbor, DenseMap::new)
+            .get_or_insert_with(dest, || Damper::new(config.mrai_min(), config.mrai_max()));
         match damper.on_change(ctx.rng()) {
             DampAction::SendNow(window) => {
                 self.send_routes(ctx, neighbor, &[dest]);
@@ -254,7 +287,9 @@ impl Bgp {
                 ctx.set_timer(window, TimerToken::compose(timer::MRAI_PAIR, arg));
             }
             DampAction::Deferred => {
-                self.pair_pending.insert((neighbor, dest));
+                self.pair_pending
+                    .get_or_insert_with(neighbor, DenseSet::new)
+                    .insert(dest);
             }
         }
     }
@@ -298,8 +333,11 @@ impl RoutingProtocol for Bgp {
         let n = ctx.num_nodes();
         self.adj_in = AdjRibIn::new(n);
         self.loc_rib = vec![None; n];
+        self.announce_cache = vec![None; n];
+        let origin = self.interner.origin(ctx.node());
+        self.announce_cache[ctx.node().index()] = Some(origin.clone());
         self.loc_rib[ctx.node().index()] = Some(BestRoute {
-            path: AsPath::origin(ctx.node()),
+            path: origin,
             next_hop: None,
         });
         self.changed_batch.push(ctx.node());
@@ -325,6 +363,9 @@ impl RoutingProtocol for Bgp {
             debug_assert_eq!(path.first(), Some(from), "announced path must start at peer");
             // Receive-side loop detection: a path containing this AS is
             // treated as a withdrawal (the split-horizon analog of §3).
+            // The stored path is a refcount clone of the sender's hop
+            // sequence — the whole Adj-RIB-In fan-in for one announcement
+            // shares a single allocation, no interner lookup needed.
             let filtered = if path.contains(ctx.node()) {
                 None
             } else {
@@ -365,18 +406,18 @@ impl RoutingProtocol for Bgp {
                 if epoch != self.epoch(neighbor) {
                     return; // session reset since this timer was armed
                 }
-                let Some(damper) = self.dampers.get_mut(&neighbor) else {
+                let Some(damper) = self.dampers.get_mut(neighbor) else {
                     return;
                 };
                 let _ = damper.on_window_expired();
                 let pending: Vec<NodeId> = self
                     .pending
-                    .remove(&neighbor)
-                    .map(|s| s.into_iter().collect())
+                    .remove(neighbor)
+                    .map(|s| s.iter().collect())
                     .unwrap_or_default();
                 if !pending.is_empty() && ctx.neighbor_up(neighbor) {
                     self.send_routes(ctx, neighbor, &pending);
-                    if let Some(damper) = self.dampers.get_mut(&neighbor) {
+                    if let Some(damper) = self.dampers.get_mut(neighbor) {
                         let window = damper.reopen(ctx.rng());
                         let arg = (self.epoch(neighbor) << 24) | neighbor.index() as u64;
                         ctx.set_timer(window, TimerToken::compose(timer::MRAI_NEIGHBOR, arg));
@@ -390,13 +431,23 @@ impl RoutingProtocol for Bgp {
                 if epoch != self.epoch(neighbor) {
                     return;
                 }
-                let Some(damper) = self.pair_dampers.get_mut(&(neighbor, dest)) else {
+                let Some(damper) = self
+                    .pair_dampers
+                    .get_mut(neighbor)
+                    .and_then(|m| m.get_mut(dest))
+                else {
                     return;
                 };
                 let _ = damper.on_window_expired();
-                if self.pair_pending.remove(&(neighbor, dest)) && ctx.neighbor_up(neighbor) {
+                let was_pending = self
+                    .pair_pending
+                    .get_mut(neighbor)
+                    .is_some_and(|s| s.remove(dest));
+                if was_pending && ctx.neighbor_up(neighbor) {
                     self.send_routes(ctx, neighbor, &[dest]);
-                    if let Some(damper) = self.pair_dampers.get_mut(&(neighbor, dest)) {
+                    if let Some(damper) =
+                        self.pair_dampers.get_mut(neighbor).and_then(|m| m.get_mut(dest))
+                    {
                         let window = damper.reopen(ctx.rng());
                         let arg = (self.epoch(neighbor) << 40)
                             | ((neighbor.index() as u64) << 20)
@@ -432,12 +483,12 @@ impl RoutingProtocol for Bgp {
     fn on_link_down(&mut self, ctx: &mut ProtocolContext<'_>, neighbor: NodeId) {
         // Session reset: forget everything the peer told us and everything
         // we owed it.
-        *self.epochs.entry(neighbor).or_insert(0) += 1;
+        *self.epochs.get_or_insert_with(neighbor, || 0) += 1;
         self.adj_in.clear_neighbor(neighbor);
-        self.dampers.remove(&neighbor);
-        self.pending.remove(&neighbor);
-        self.pair_dampers.retain(|&(n, _), _| n != neighbor);
-        self.pair_pending.retain(|&(n, _)| n != neighbor);
+        self.dampers.remove(neighbor);
+        self.pending.remove(neighbor);
+        self.pair_dampers.remove(neighbor);
+        self.pair_pending.remove(neighbor);
         self.flap.clear_peer(neighbor);
         for i in 0..self.loc_rib.len() {
             self.re_decide(ctx, NodeId::new(i as u32));
@@ -447,7 +498,7 @@ impl RoutingProtocol for Bgp {
 
     fn on_link_up(&mut self, ctx: &mut ProtocolContext<'_>, neighbor: NodeId) {
         // Fresh session: initial RIB exchange is not MRAI-throttled.
-        *self.epochs.entry(neighbor).or_insert(0) += 1;
+        *self.epochs.get_or_insert_with(neighbor, || 0) += 1;
         let all: Vec<NodeId> = self
             .loc_rib
             .iter()

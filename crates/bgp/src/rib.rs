@@ -5,17 +5,21 @@
 //! study's shortest-path policy: fewest ASes, ties to the lowest neighbor
 //! id.
 
-use std::collections::BTreeMap;
-
+use netsim::dense::DenseMap;
 use netsim::ident::NodeId;
 use routing_core::path::AsPath;
 
 /// Paths received from each neighbor, per destination.
+///
+/// Stored as a [`DenseMap`] of per-neighbor slot vectors: neighbor ids are
+/// dense, so the tree the old `BTreeMap` maintained bought nothing, and
+/// iteration stays in ascending neighbor id order (identical candidate
+/// order, identical traces).
 #[derive(Debug, Clone, Default)]
 pub struct AdjRibIn {
     /// `paths[neighbor][dest]` = last announced path (already
     /// loop-filtered: a path containing the local AS is stored as `None`).
-    paths: BTreeMap<NodeId, Vec<Option<AsPath>>>,
+    paths: DenseMap<Vec<Option<AsPath>>>,
     num_dests: usize,
 }
 
@@ -24,7 +28,7 @@ impl AdjRibIn {
     #[must_use]
     pub fn new(num_dests: usize) -> Self {
         AdjRibIn {
-            paths: BTreeMap::new(),
+            paths: DenseMap::new(),
             num_dests,
         }
     }
@@ -37,22 +41,22 @@ impl AdjRibIn {
     /// Panics if `dest` is out of range.
     pub fn set(&mut self, neighbor: NodeId, dest: NodeId, path: Option<AsPath>) {
         assert!(dest.index() < self.num_dests, "{dest} out of range");
+        let num_dests = self.num_dests;
         let table = self
             .paths
-            .entry(neighbor)
-            .or_insert_with(|| vec![None; self.num_dests]);
+            .get_or_insert_with(neighbor, || vec![None; num_dests]);
         table[dest.index()] = path;
     }
 
     /// The stored path from `neighbor` for `dest`.
     #[must_use]
     pub fn get(&self, neighbor: NodeId, dest: NodeId) -> Option<&AsPath> {
-        self.paths.get(&neighbor)?.get(dest.index())?.as_ref()
+        self.paths.get(neighbor)?.get(dest.index())?.as_ref()
     }
 
     /// Drops everything learned from `neighbor` (session reset).
     pub fn clear_neighbor(&mut self, neighbor: NodeId) {
-        self.paths.remove(&neighbor);
+        self.paths.remove(neighbor);
     }
 
     /// Iterates over `(neighbor, path)` candidates for `dest`, restricted
@@ -65,7 +69,7 @@ impl AdjRibIn {
     where
         F: Fn(NodeId) -> bool + 'a,
     {
-        self.paths.iter().filter_map(move |(&neighbor, table)| {
+        self.paths.iter().filter_map(move |(neighbor, table)| {
             if !usable(neighbor) {
                 return None;
             }

@@ -18,6 +18,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use netsim::dense::DenseMap;
 use netsim::ident::{NodeId, PacketId};
 use netsim::packet::DropReason;
 use netsim::simulator::SimStats;
@@ -70,8 +71,8 @@ pub struct SummaryObserver {
     packet_logs: BTreeMap<PacketId, PacketLog>,
     looped_packets: u64,
     loop_escapes: u64,
-    // Switch-over windows for the flow's destination.
-    open_windows: BTreeMap<NodeId, SimTime>,
+    // Switch-over windows for the flow's destination, keyed by node.
+    open_windows: DenseMap<SimTime>,
     max_switchover_s: f64,
     // Stretch of the flow's delivered packets.
     flow_packets: BTreeSet<PacketId>,
@@ -130,7 +131,7 @@ impl SummaryObserver {
             packet_logs: BTreeMap::new(),
             looped_packets: 0,
             loop_escapes: 0,
-            open_windows: BTreeMap::new(),
+            open_windows: DenseMap::new(),
             max_switchover_s: 0.0,
             flow_packets: BTreeSet::new(),
             stretch_sum: 0.0,
@@ -227,11 +228,11 @@ impl SummaryObserver {
                     match new {
                         None => {
                             if *time >= self.t_fail {
-                                self.open_windows.entry(*node).or_insert(*time);
+                                self.open_windows.get_or_insert_with(*node, || *time);
                             }
                         }
                         Some(_) => {
-                            if let Some(began) = self.open_windows.remove(node) {
+                            if let Some(began) = self.open_windows.remove(*node) {
                                 let dur = time.saturating_since(began).as_secs_f64();
                                 self.max_switchover_s = self.max_switchover_s.max(dur);
                             }
@@ -250,7 +251,7 @@ impl SummaryObserver {
         let run_end = self.last_event_time.unwrap_or(self.t_fail);
         // Windows never closed by a re-install run to the end of the run.
         let mut max_switchover_s = self.max_switchover_s;
-        for began in self.open_windows.values() {
+        for (_, began) in self.open_windows.iter() {
             max_switchover_s = max_switchover_s.max(run_end.saturating_since(*began).as_secs_f64());
         }
         RunSummary {

@@ -6,16 +6,21 @@
 //! (including poisoned infinities), so a neighbor that routes through us
 //! correctly offers no alternate.
 
-use std::collections::BTreeMap;
-
+use netsim::dense::DenseMap;
 use netsim::ident::NodeId;
 use routing_core::Metric;
 
 /// Latest advertised distance vectors, per neighbor.
+///
+/// Neighbors are dense small integers, so the vectors live in a
+/// [`DenseMap`] — a `Vec` indexed by node id — rather than a tree;
+/// iteration still visits neighbors in ascending id order, which is what
+/// keeps recomputation order (and therefore traces) identical to the old
+/// `BTreeMap` representation.
 #[derive(Debug, Clone, Default)]
 pub struct NeighborCache {
     /// `vectors[neighbor][dest]` = advertised metric; `None` = never heard.
-    vectors: BTreeMap<NodeId, Vec<Option<Metric>>>,
+    vectors: DenseMap<Vec<Option<Metric>>>,
     num_dests: usize,
 }
 
@@ -24,7 +29,7 @@ impl NeighborCache {
     #[must_use]
     pub fn new(num_dests: usize) -> Self {
         NeighborCache {
-            vectors: BTreeMap::new(),
+            vectors: DenseMap::new(),
             num_dests,
         }
     }
@@ -36,23 +41,23 @@ impl NeighborCache {
     /// Panics if `dest` is out of range.
     pub fn update(&mut self, neighbor: NodeId, dest: NodeId, metric: Metric) {
         assert!(dest.index() < self.num_dests, "{dest} out of range");
+        let num_dests = self.num_dests;
         let vector = self
             .vectors
-            .entry(neighbor)
-            .or_insert_with(|| vec![None; self.num_dests]);
+            .get_or_insert_with(neighbor, || vec![None; num_dests]);
         vector[dest.index()] = Some(metric);
     }
 
     /// The advertised metric from `neighbor` for `dest`, if any.
     #[must_use]
     pub fn advertised(&self, neighbor: NodeId, dest: NodeId) -> Option<Metric> {
-        *self.vectors.get(&neighbor)?.get(dest.index())?
+        *self.vectors.get(neighbor)?.get(dest.index())?
     }
 
     /// Forgets everything learned from `neighbor` (link failure or
     /// staleness timeout).
     pub fn invalidate(&mut self, neighbor: NodeId) {
-        self.vectors.remove(&neighbor);
+        self.vectors.remove(neighbor);
     }
 
     /// Returns `(neighbor, advertised_metric)` candidates for `dest`,
@@ -65,7 +70,7 @@ impl NeighborCache {
     where
         F: Fn(NodeId) -> bool + 'a,
     {
-        self.vectors.iter().filter_map(move |(&neighbor, vector)| {
+        self.vectors.iter().filter_map(move |(neighbor, vector)| {
             if !usable(neighbor) {
                 return None;
             }
@@ -76,7 +81,7 @@ impl NeighborCache {
 
     /// Neighbors currently present in the cache.
     pub fn known_neighbors(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.vectors.keys().copied()
+        self.vectors.keys()
     }
 }
 

@@ -9,7 +9,8 @@ use routing_core::message::{pack_entries, DvEntry, DvMessage};
 use routing_core::metric::Metric;
 use routing_core::select_best;
 use rip::config::SplitHorizon;
-use std::collections::BTreeMap;
+use netsim::dense::DenseMap;
+use std::sync::Arc;
 
 use crate::cache::NeighborCache;
 use crate::config::DbfConfig;
@@ -41,7 +42,7 @@ pub struct Dbf {
     cache: NeighborCache,
     selected: Vec<Option<SelectedRoute>>,
     changed: Vec<bool>,
-    neighbor_timers: BTreeMap<NodeId, TimerId>,
+    neighbor_timers: DenseMap<TimerId>,
     scheduler: TriggeredScheduler,
 }
 
@@ -75,7 +76,7 @@ impl Dbf {
             cache: NeighborCache::default(),
             selected: Vec::new(),
             changed: Vec::new(),
-            neighbor_timers: BTreeMap::new(),
+            neighbor_timers: DenseMap::new(),
         }
     }
 
@@ -117,6 +118,13 @@ impl Dbf {
         }
     }
 
+    /// Whether any destination's selection changed since the last flush —
+    /// the hot-path check, with no `Vec` materialised just to test
+    /// emptiness.
+    fn has_changes(&self) -> bool {
+        self.changed.iter().any(|&c| c)
+    }
+
     fn changed_dests(&self) -> Vec<NodeId> {
         self.changed
             .iter()
@@ -130,40 +138,42 @@ impl Dbf {
         self.changed.fill(false);
     }
 
-    /// Builds the advertisement for one neighbor under split horizon.
+    /// The advertisement for one neighbor under split horizon, as a lazy
+    /// iterator — entries stream straight into the inline message
+    /// storage of [`pack_entries`] without an intermediate `Vec`.
     ///
     /// Unlike RIP's table dump, DBF advertises the *full vector*: a
     /// destination with no selected route is announced with an infinite
     /// metric, which is how withdrawals reach neighbors whose caches would
     /// otherwise hold the stale finite entry forever.
-    fn build_entries(&self, neighbor: NodeId, only: Option<&[NodeId]>) -> Vec<DvEntry> {
-        self.selected
-            .iter()
-            .enumerate()
-            .filter_map(|(i, slot)| {
-                let dest = NodeId::new(i as u32);
-                if only.is_some_and(|set| !set.contains(&dest)) {
-                    return None;
-                }
-                let metric = match slot {
-                    None => Metric::INFINITY,
-                    Some(route) => {
-                        let toward_neighbor = route.next_hop == Some(neighbor);
-                        match (toward_neighbor, self.config.split_horizon) {
-                            (true, SplitHorizon::Simple) => return None,
-                            (true, SplitHorizon::PoisonReverse) => Metric::INFINITY,
-                            _ => route.metric,
-                        }
+    fn build_entries<'a>(
+        &'a self,
+        neighbor: NodeId,
+        only: Option<&'a [NodeId]>,
+    ) -> impl Iterator<Item = DvEntry> + 'a {
+        self.selected.iter().enumerate().filter_map(move |(i, slot)| {
+            let dest = NodeId::new(i as u32);
+            if only.is_some_and(|set| !set.contains(&dest)) {
+                return None;
+            }
+            let metric = match slot {
+                None => Metric::INFINITY,
+                Some(route) => {
+                    let toward_neighbor = route.next_hop == Some(neighbor);
+                    match (toward_neighbor, self.config.split_horizon) {
+                        (true, SplitHorizon::Simple) => return None,
+                        (true, SplitHorizon::PoisonReverse) => Metric::INFINITY,
+                        _ => route.metric,
                     }
-                };
-                Some(DvEntry { dest, metric })
-            })
-            .collect()
+                }
+            };
+            Some(DvEntry { dest, metric })
+        })
     }
 
     fn send_update(&self, ctx: &mut ProtocolContext<'_>, to: NodeId, only: Option<&[NodeId]>) {
         for message in pack_entries(self.build_entries(to, only)) {
-            ctx.send(to, Box::new(message));
+            ctx.send(to, Arc::new(message));
         }
     }
 
@@ -176,7 +186,7 @@ impl Dbf {
     }
 
     fn after_changes(&mut self, ctx: &mut ProtocolContext<'_>) {
-        if self.changed_dests().is_empty() {
+        if !self.has_changes() {
             return;
         }
         match self.scheduler.on_change(ctx.rng()) {
@@ -211,7 +221,7 @@ impl Dbf {
 
     fn drop_neighbor(&mut self, ctx: &mut ProtocolContext<'_>, neighbor: NodeId) {
         self.cache.invalidate(neighbor);
-        if let Some(t) = self.neighbor_timers.remove(&neighbor) {
+        if let Some(t) = self.neighbor_timers.remove(neighbor) {
             ctx.cancel_timer(t);
         }
         for i in 0..self.selected.len() {
@@ -283,7 +293,7 @@ impl RoutingProtocol for Dbf {
                 ctx.set_timer(next, TimerToken::compose(timer::PERIODIC, 0));
             }
             timer::TRIGGERED_WINDOW => {
-                let has_changes = !self.changed_dests().is_empty();
+                let has_changes = self.has_changes();
                 let (flush, rearm) = self.scheduler.on_timer_expired(ctx.rng(), has_changes);
                 if flush {
                     self.flush_changed(ctx);
@@ -294,7 +304,7 @@ impl RoutingProtocol for Dbf {
             }
             timer::NEIGHBOR_TIMEOUT => {
                 let neighbor = NodeId::new(token.arg() as u32);
-                self.neighbor_timers.remove(&neighbor);
+                self.neighbor_timers.remove(neighbor);
                 self.cache.invalidate(neighbor);
                 for i in 0..self.selected.len() {
                     self.recompute(ctx, NodeId::new(i as u32));

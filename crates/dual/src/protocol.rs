@@ -1,10 +1,11 @@
 //! The DUAL protocol engine (diffusing computations, loop-free by
 //! construction).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
+use netsim::dense::{DenseMap, DenseSet};
 use netsim::ident::NodeId;
-use netsim::protocol::{Payload, RoutingProtocol, TimerToken};
+use netsim::protocol::{Payload, RoutingProtocol, SharedPayload, TimerToken};
 use netsim::simulator::ProtocolContext;
 use netsim::time::SimDuration;
 use routing_core::metric::Metric;
@@ -56,7 +57,7 @@ pub struct Dual {
     config: DualConfig,
     routes: Vec<DualRoute>,
     /// `(dest, new_distance)` updates accumulated during the current event.
-    update_batch: BTreeMap<NodeId, Metric>,
+    update_batch: DenseMap<Metric>,
 }
 
 impl Dual {
@@ -72,7 +73,7 @@ impl Dual {
         Dual {
             config,
             routes: Vec::new(),
-            update_batch: BTreeMap::new(),
+            update_batch: DenseMap::new(),
         }
     }
 
@@ -115,7 +116,7 @@ impl Dual {
                     route
                         .reported
                         .keys()
-                        .any(|&n| ctx.neighbor_up(n))
+                        .any(|n| ctx.neighbor_up(n))
                 };
                 if any_up_report {
                     self.go_active(ctx, dest);
@@ -138,7 +139,7 @@ impl Dual {
     /// Starts a diffusing computation: freeze (unreachable), query all up
     /// neighbors, await their replies.
     fn go_active(&mut self, ctx: &mut ProtocolContext<'_>, dest: NodeId) {
-        let pending: BTreeSet<NodeId> = ctx
+        let pending: DenseSet = ctx
             .neighbors()
             .into_iter()
             .filter(|&n| ctx.neighbor_up(n))
@@ -161,18 +162,18 @@ impl Dual {
         );
         self.routes[dest.index()].state = DualState::Active {
             pending: pending.clone(),
-            deferred: BTreeSet::new(),
+            deferred: DenseSet::new(),
             sia_timer: Some(sia),
         };
-        let query = DualMessage::new(
+        let query: SharedPayload = Arc::new(DualMessage::new(
             DualKind::Query,
             vec![DualEntry {
                 dest,
                 metric: Metric::INFINITY,
             }],
-        );
-        for n in pending {
-            ctx.send_reliable(n, Box::new(query.clone()));
+        ));
+        for n in pending.iter() {
+            ctx.send_reliable(n, Arc::clone(&query));
         }
     }
 
@@ -208,11 +209,13 @@ impl Dual {
             }
         }
         let distance = self.routes[dest.index()].distance;
-        for n in deferred {
+        let reply: SharedPayload = Arc::new(DualMessage::new(
+            DualKind::Reply,
+            vec![DualEntry { dest, metric: distance }],
+        ));
+        for n in deferred.iter() {
             if ctx.neighbor_up(n) {
-                let reply =
-                    DualMessage::new(DualKind::Reply, vec![DualEntry { dest, metric: distance }]);
-                ctx.send_reliable(n, Box::new(reply));
+                ctx.send_reliable(n, Arc::clone(&reply));
             }
         }
         self.update_batch.insert(dest, distance);
@@ -225,14 +228,16 @@ impl Dual {
         if self.update_batch.is_empty() {
             return;
         }
-        let entries: Vec<DualEntry> = std::mem::take(&mut self.update_batch)
-            .into_iter()
-            .map(|(dest, metric)| DualEntry { dest, metric })
+        let entries: Vec<DualEntry> = self
+            .update_batch
+            .iter()
+            .map(|(dest, &metric)| DualEntry { dest, metric })
             .collect();
-        let message = DualMessage::new(DualKind::Update, entries);
+        self.update_batch.clear();
+        let message: SharedPayload = Arc::new(DualMessage::new(DualKind::Update, entries));
         for n in ctx.neighbors() {
             if ctx.neighbor_up(n) {
-                ctx.send_reliable(n, Box::new(message.clone()));
+                ctx.send_reliable(n, Arc::clone(&message));
             }
         }
     }
@@ -286,7 +291,7 @@ impl RoutingProtocol for Dual {
                                 metric: Metric::INFINITY,
                             }],
                         );
-                        ctx.send_reliable(from, Box::new(reply));
+                        ctx.send_reliable(from, Arc::new(reply));
                     } else {
                         self.local_compute(ctx, dest);
                         if let DualState::Active { deferred, .. } =
@@ -303,14 +308,14 @@ impl RoutingProtocol for Dual {
                                     metric: self.routes[dest.index()].distance,
                                 }],
                             );
-                            ctx.send_reliable(from, Box::new(reply));
+                            ctx.send_reliable(from, Arc::new(reply));
                         }
                     }
                 }
                 DualKind::Reply => {
                     let complete = match &mut self.routes[dest.index()].state {
                         DualState::Active { pending, .. } => {
-                            pending.remove(&from);
+                            pending.remove(from);
                             pending.is_empty()
                         }
                         DualState::Passive => false,
@@ -335,9 +340,9 @@ impl RoutingProtocol for Dual {
             // Stuck in active: give up on the silent neighbors and resolve
             // with what we have.
             *sia_timer = None;
-            let silent: Vec<NodeId> = pending.iter().copied().collect();
+            let silent: Vec<NodeId> = pending.iter().collect();
             for n in silent {
-                self.routes[dest.index()].reported.remove(&n);
+                self.routes[dest.index()].reported.remove(n);
             }
             self.complete_diffusion(ctx, dest);
             self.flush_updates(ctx);
@@ -350,14 +355,14 @@ impl RoutingProtocol for Dual {
             if dest == ctx.node() {
                 continue;
             }
-            self.routes[i].reported.remove(&neighbor);
+            self.routes[i].reported.remove(neighbor);
             match &mut self.routes[i].state {
                 DualState::Active {
                     pending, deferred, ..
                 } => {
-                    deferred.remove(&neighbor);
+                    deferred.remove(neighbor);
                     // A dead neighbor counts as an (infinite) reply.
-                    if pending.remove(&neighbor) && pending.is_empty() {
+                    if pending.remove(neighbor) && pending.is_empty() {
                         self.complete_diffusion(ctx, dest);
                     }
                 }
@@ -384,7 +389,7 @@ impl RoutingProtocol for Dual {
             })
             .collect();
         if !entries.is_empty() {
-            ctx.send_reliable(neighbor, Box::new(DualMessage::new(DualKind::Update, entries)));
+            ctx.send_reliable(neighbor, Arc::new(DualMessage::new(DualKind::Update, entries)));
         }
     }
 }

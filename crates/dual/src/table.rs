@@ -1,7 +1,6 @@
 //! Per-destination DUAL state.
 
-use std::collections::{BTreeMap, BTreeSet};
-
+use netsim::dense::{DenseMap, DenseSet};
 use netsim::ident::NodeId;
 use netsim::protocol::TimerId;
 use routing_core::metric::Metric;
@@ -14,10 +13,10 @@ pub enum DualState {
     /// A diffusing computation is in progress.
     Active {
         /// Neighbors whose replies are outstanding.
-        pending: BTreeSet<NodeId>,
+        pending: DenseSet,
         /// Neighbors whose queries we deferred until our own diffusion
         /// finishes.
-        deferred: BTreeSet<NodeId>,
+        deferred: DenseSet,
         /// Stuck-in-active guard timer.
         sia_timer: Option<TimerId>,
     },
@@ -35,7 +34,7 @@ pub struct DualRoute {
     /// Current successor (next hop), if any.
     pub successor: Option<NodeId>,
     /// Last distance reported by each neighbor.
-    pub reported: BTreeMap<NodeId, Metric>,
+    pub reported: DenseMap<Metric>,
     /// Passive/active state.
     pub state: DualState,
 }
@@ -48,7 +47,7 @@ impl DualRoute {
             distance: Metric::INFINITY,
             feasible_distance: Metric::INFINITY,
             successor: None,
-            reported: BTreeMap::new(),
+            reported: DenseMap::new(),
             state: DualState::Passive,
         }
     }
@@ -70,7 +69,7 @@ impl DualRoute {
         F: Fn(NodeId) -> Option<u32> + 'a,
     {
         let fd = self.feasible_distance;
-        self.reported.iter().filter_map(move |(&n, &rd)| {
+        self.reported.iter().filter_map(move |(n, &rd)| {
             if rd < fd {
                 cost(n).map(|c| (n, rd + c))
             } else {
@@ -88,7 +87,7 @@ impl DualRoute {
         routing_core::select_best(
             self.reported
                 .iter()
-                .filter_map(|(&n, &rd)| cost(n).map(|c| (n, rd + c))),
+                .filter_map(|(n, &rd)| cost(n).map(|c| (n, rd + c))),
         )
     }
 }

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod dense;
 pub mod error;
 pub mod event;
 pub mod fib;
@@ -68,16 +69,18 @@ pub mod protocol;
 pub mod rng;
 pub mod simulator;
 pub mod time;
+mod timers;
 pub mod trace;
 
 pub use app::AppAgent;
+pub use dense::{DenseMap, DenseSet};
 pub use error::{BuildError, EventBudgetExceeded};
 pub use fib::Fib;
 pub use ident::{ChannelId, LinkId, NodeId, PacketId};
 pub use impairment::Impairment;
 pub use link::LinkConfig;
 pub use packet::{DropReason, Packet, DEFAULT_TTL};
-pub use protocol::{Payload, RoutingProtocol, TimerId, TimerToken};
+pub use protocol::{Payload, RoutingProtocol, SharedPayload, TimerId, TimerToken};
 pub use rng::SimRng;
 pub use simulator::{AppContext, ForwardingPath, ProtocolContext, SimStats, Simulator, SimulatorBuilder};
 pub use time::{SimDuration, SimTime};

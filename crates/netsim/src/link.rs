@@ -7,6 +7,7 @@
 //! paper's IRLSim setup.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -84,8 +85,10 @@ pub struct ControlFrame {
     pub from: NodeId,
     /// Receiving node.
     pub to: NodeId,
-    /// Protocol payload.
-    pub payload: Box<dyn Payload>,
+    /// Protocol payload. Shared, not owned: a protocol fanning one update
+    /// out to N neighbors clones the `Arc` handle N times while the
+    /// payload itself is allocated once.
+    pub payload: Arc<dyn Payload>,
     /// Reliable frames emulate a TCP session: they are never dropped by
     /// queue overflow (the sender would have retransmitted), only by link
     /// failure (after which the session itself resets).
@@ -304,7 +307,7 @@ mod tests {
         let ctrl = Frame::Control(ControlFrame {
             from: NodeId::new(0),
             to: NodeId::new(1),
-            payload: Box::new(Dummy),
+            payload: Arc::new(Dummy),
             reliable: true,
         });
         assert!(matches!(ch.offer(ctrl), EnqueueOutcome::Queued));
@@ -312,7 +315,7 @@ mod tests {
         let unreliable = Frame::Control(ControlFrame {
             from: NodeId::new(0),
             to: NodeId::new(1),
-            payload: Box::new(Dummy),
+            payload: Arc::new(Dummy),
             reliable: false,
         });
         assert!(matches!(ch.offer(unreliable), EnqueueOutcome::Dropped(_)));

@@ -9,6 +9,7 @@
 
 use std::any::Any;
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -78,6 +79,13 @@ pub trait Payload: fmt::Debug + Any {
     /// Upcast for downcasting by the receiving protocol.
     fn as_any(&self) -> &dyn Any;
 }
+
+/// A reference-counted payload handle, the unit of control-plane fan-out.
+///
+/// Protocols that flood one update to several neighbors build the payload
+/// once and clone this handle per send; the frames in flight all point at
+/// the same allocation.
+pub type SharedPayload = Arc<dyn Payload>;
 
 /// A routing protocol instance hosted on one node.
 ///

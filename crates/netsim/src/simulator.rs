@@ -1,7 +1,7 @@
 //! The simulation engine: world assembly, the event loop, the data plane
 //! and the protocol context.
 
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::app::AppAgent;
 use crate::error::{BuildError, EventBudgetExceeded};
@@ -11,9 +11,10 @@ use crate::ident::{ChannelId, LinkId, NodeId, PacketId};
 use crate::impairment::{Impairment, PPM_SCALE};
 use crate::link::{Channel, ControlFrame, EnqueueOutcome, Frame, LinkConfig};
 use crate::packet::{DropReason, Packet, DEFAULT_TTL};
-use crate::protocol::{Payload, RoutingProtocol, TimerId, TimerToken};
+use crate::protocol::{RoutingProtocol, SharedPayload, TimerId, TimerToken};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use crate::timers::{TimerEntry, TimerSlab, TimerTarget};
 use crate::trace::{Trace, TraceConfig, TraceEvent};
 
 /// A router in the simulated network.
@@ -46,14 +47,6 @@ struct LinkInfo {
     up: bool,
 }
 
-/// Whether a pending timer belongs to the node's routing protocol or its
-/// application agent.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TimerTarget {
-    Protocol,
-    App,
-}
-
 /// Aggregate counters updated online (cheap, always on).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
@@ -78,6 +71,10 @@ pub struct SimStats {
     pub control_retransmits: u64,
     /// Peak number of simultaneously pending events in the calendar.
     pub queue_high_water: u64,
+    /// Control sends whose payload `Arc` was already shared with another
+    /// handle at send time — each one is a deep payload clone the old
+    /// `Box<dyn Payload>` fan-out would have performed.
+    pub control_payloads_shared: u64,
 }
 
 /// Result of walking the FIBs from a source toward a destination.
@@ -263,8 +260,7 @@ impl SimulatorBuilder {
             protocols: (0..n).map(|_| None).collect(),
             apps: (0..n).map(|_| None).collect(),
             queue: EventQueue::new(),
-            timers: BTreeMap::new(),
-            next_timer: 0,
+            timers: TimerSlab::new(),
             next_packet: 0,
             rng: SimRng::seed_from(self.seed),
             // A dedicated stream for impairment decisions, seeded
@@ -288,8 +284,7 @@ pub struct Simulator {
     protocols: Vec<Option<Box<dyn RoutingProtocol>>>,
     apps: Vec<Option<Box<dyn AppAgent>>>,
     queue: EventQueue,
-    timers: BTreeMap<u64, (NodeId, TimerToken, TimerTarget)>,
-    next_timer: u64,
+    timers: TimerSlab,
     next_packet: u64,
     rng: SimRng,
     impairment_rng: SimRng,
@@ -788,14 +783,14 @@ impl Simulator {
             }
             EventKind::FrameArrived { channel, frame } => self.on_frame_arrived(channel, frame),
             EventKind::TimerFired { node, timer } => {
-                if let Some((owner, token, target)) = self.timers.remove(&timer.0) {
-                    debug_assert_eq!(owner, node);
-                    match target {
+                if let Some(entry) = self.timers.take(timer) {
+                    debug_assert_eq!(entry.owner, node);
+                    match entry.target {
                         TimerTarget::Protocol => {
-                            self.dispatch(node, |proto, ctx| proto.on_timer(ctx, token));
+                            self.dispatch(node, |proto, ctx| proto.on_timer(ctx, entry.token));
                         }
                         TimerTarget::App => {
-                            self.dispatch_app(node, |app, ctx| app.on_timer(ctx, token));
+                            self.dispatch_app(node, |app, ctx| app.on_timer(ctx, entry.token));
                         }
                     }
                 }
@@ -847,7 +842,7 @@ impl Simulator {
         // agents survive a router reboot: transport endpoints live above
         // the forwarding plane.)
         self.timers
-            .retain(|_, (owner, _, target)| !(*owner == node && *target == TimerTarget::Protocol));
+            .retain(|e| !(e.owner == node && e.target == TimerTarget::Protocol));
         self.protocols[node.index()] = Some(fresh);
         self.record(TraceEvent::NodeRestarted { time: now, node });
         self.dispatch(node, |proto, ctx| proto.on_start(ctx));
@@ -1252,17 +1247,20 @@ impl ProtocolContext<'_> {
     }
 
     /// Sends a datagram control message (may be lost on failure/overflow).
-    pub fn send(&mut self, to: NodeId, payload: Box<dyn Payload>) {
+    ///
+    /// The payload is a shared handle: fanning one update out to several
+    /// neighbors clones the `Arc`, not the payload.
+    pub fn send(&mut self, to: NodeId, payload: SharedPayload) {
         self.send_inner(to, payload, false);
     }
 
     /// Sends a control message over a reliable in-order session (BGP/TCP
     /// emulation: immune to queue overflow, reset by link failure).
-    pub fn send_reliable(&mut self, to: NodeId, payload: Box<dyn Payload>) {
+    pub fn send_reliable(&mut self, to: NodeId, payload: SharedPayload) {
         self.send_inner(to, payload, true);
     }
 
-    fn send_inner(&mut self, to: NodeId, payload: Box<dyn Payload>, reliable: bool) {
+    fn send_inner(&mut self, to: NodeId, payload: SharedPayload, reliable: bool) {
         let out = self.sim.nodes[self.node.index()]
             .adjacency
             .iter()
@@ -1272,6 +1270,9 @@ impl ProtocolContext<'_> {
         let bytes = (payload.size_bytes() + 20) as u32;
         self.sim.stats.control_messages_sent += 1;
         self.sim.stats.control_bytes_sent += u64::from(bytes);
+        if Arc::strong_count(&payload) > 1 {
+            self.sim.stats.control_payloads_shared += 1;
+        }
         if self.sim.trace_config.record_control {
             self.sim.record(TraceEvent::ControlSent {
                 time: self.sim.now(),
@@ -1292,11 +1293,11 @@ impl ProtocolContext<'_> {
     /// Arms a one-shot timer `after` from now; the token is returned in
     /// [`RoutingProtocol::on_timer`].
     pub fn set_timer(&mut self, after: SimDuration, token: TimerToken) -> TimerId {
-        let id = TimerId(self.sim.next_timer);
-        self.sim.next_timer += 1;
-        self.sim
-            .timers
-            .insert(id.0, (self.node, token, TimerTarget::Protocol));
+        let id = self.sim.timers.insert(TimerEntry {
+            owner: self.node,
+            token,
+            target: TimerTarget::Protocol,
+        });
         let at = self.sim.now() + after;
         self.sim.queue.schedule(
             at,
@@ -1311,7 +1312,7 @@ impl ProtocolContext<'_> {
     /// Cancels a pending timer; cancelling an already-fired timer is a
     /// harmless no-op.
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.sim.timers.remove(&id.0);
+        let _ = self.sim.timers.take(id);
     }
 
     /// Installs `next_hop` as the FIB entry for `dest`, recording the change.
@@ -1407,11 +1408,11 @@ impl AppContext<'_> {
     /// Arms a one-shot timer; the token returns in
     /// [`AppAgent::on_timer`].
     pub fn set_timer(&mut self, after: SimDuration, token: TimerToken) -> TimerId {
-        let id = TimerId(self.sim.next_timer);
-        self.sim.next_timer += 1;
-        self.sim
-            .timers
-            .insert(id.0, (self.node, token, TimerTarget::App));
+        let id = self.sim.timers.insert(TimerEntry {
+            owner: self.node,
+            token,
+            target: TimerTarget::App,
+        });
         let at = self.sim.now() + after;
         self.sim.queue.schedule(
             at,
@@ -1425,7 +1426,7 @@ impl AppContext<'_> {
 
     /// Cancels a pending timer; harmless if it already fired.
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.sim.timers.remove(&id.0);
+        let _ = self.sim.timers.take(id);
     }
 
     /// The run's deterministic random number generator.

@@ -307,7 +307,7 @@ impl RoutingProtocol for TimerEcho {
     fn on_timer(&mut self, ctx: &mut ProtocolContext<'_>, token: TimerToken) {
         self.fired.push(token.arg());
         for n in ctx.neighbors() {
-            ctx.send(n, Box::new(Ping(token.arg())));
+            ctx.send(n, std::sync::Arc::new(Ping(token.arg())));
         }
     }
 

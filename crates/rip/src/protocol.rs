@@ -1,7 +1,9 @@
 //! The RIP protocol engine.
 
+use std::sync::Arc;
+
 use netsim::ident::NodeId;
-use netsim::protocol::{Payload, RoutingProtocol, TimerToken};
+use netsim::protocol::{Payload, RoutingProtocol, SharedPayload, TimerToken};
 use netsim::simulator::ProtocolContext;
 use netsim::time::SimDuration;
 use routing_core::damping::{TriggerAction, TriggeredScheduler};
@@ -173,7 +175,7 @@ impl Rip {
             self.config.split_horizon,
             only,
         )) {
-            ctx.send(to, Box::new(message));
+            ctx.send(to, Arc::new(message));
         }
     }
 
@@ -188,7 +190,7 @@ impl Rip {
     /// Flushes triggered updates if any change flags are set, honoring the
     /// damping timer in the configured mode.
     fn after_changes(&mut self, ctx: &mut ProtocolContext<'_>) {
-        if self.table.changed_dests().is_empty() {
+        if !self.table.has_changes() {
             return;
         }
         match self.scheduler.on_change(ctx.rng()) {
@@ -356,9 +358,11 @@ impl RoutingProtocol for Rip {
             .rng()
             .gen_duration(SimDuration::ZERO, self.config.periodic_interval);
         ctx.set_timer(first, TimerToken::compose(timer::PERIODIC, 0));
-        // RFC 2453 §3.9.1: ask the neighbors for their tables right away.
+        // RFC 2453 §3.9.1: ask the neighbors for their tables right away —
+        // one shared request payload fanned out to every neighbor.
+        let request: SharedPayload = Arc::new(RipRequest);
         for neighbor in ctx.neighbors() {
-            ctx.send(neighbor, Box::new(RipRequest));
+            ctx.send(neighbor, Arc::clone(&request));
         }
         self.after_changes(ctx);
     }
@@ -393,7 +397,7 @@ impl RoutingProtocol for Rip {
                 ctx.set_timer(next, TimerToken::compose(timer::PERIODIC, 0));
             }
             timer::TRIGGERED_WINDOW => {
-                let has_changes = !self.table.changed_dests().is_empty();
+                let has_changes = self.table.has_changes();
                 let (flush, rearm) = self.scheduler.on_timer_expired(ctx.rng(), has_changes);
                 if flush {
                     self.flush_changed(ctx);
@@ -435,7 +439,7 @@ impl RoutingProtocol for Rip {
         // Gratuitous full update teaches the returning neighbor quickly,
         // and a request learns its table without waiting for its periodic.
         self.send_update(ctx, neighbor, None);
-        ctx.send(neighbor, Box::new(RipRequest));
+        ctx.send(neighbor, Arc::new(RipRequest));
     }
 }
 

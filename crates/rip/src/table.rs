@@ -79,6 +79,13 @@ impl RipTable {
             .filter_map(|(i, r)| r.as_ref().map(|route| (NodeId::new(i as u32), route)))
     }
 
+    /// Whether any route has its change flag set — the no-allocation
+    /// check used on the hot path before materialising the changed list.
+    #[must_use]
+    pub fn has_changes(&self) -> bool {
+        self.routes.iter().flatten().any(|r| r.changed)
+    }
+
     /// Destinations whose change flag is set.
     #[must_use]
     pub fn changed_dests(&self) -> Vec<NodeId> {

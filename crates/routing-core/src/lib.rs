@@ -11,14 +11,16 @@
 #![warn(missing_docs)]
 
 pub mod damping;
+pub mod inline;
 pub mod message;
 pub mod metric;
 pub mod path;
 
 pub use damping::{DampAction, Damper};
+pub use inline::InlineVec;
 pub use message::{pack_entries, DvEntry, DvMessage, MAX_ENTRIES_PER_MESSAGE};
 pub use metric::Metric;
-pub use path::AsPath;
+pub use path::{AsPath, PathInterner};
 
 /// Selects the best (metric, neighbor) pair with deterministic tie-breaking
 /// toward the lowest neighbor id — the selection rule all protocols in the

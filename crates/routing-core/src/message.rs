@@ -4,6 +4,7 @@ use netsim::ident::NodeId;
 use netsim::protocol::Payload;
 use serde::{Deserialize, Serialize};
 
+use crate::inline::InlineVec;
 use crate::metric::Metric;
 
 /// Maximum route entries per message (RFC 2453 §3.6: 25 RTEs).
@@ -23,21 +24,27 @@ pub struct DvEntry {
 }
 
 /// A distance-vector update message.
+///
+/// Entries live inline in the message value ([`InlineVec`] sized to the
+/// RFC limit), so building, cloning and queuing a message never allocates
+/// for entry storage — the ≤25-entry case is the *only* case.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DvMessage {
     /// Up to [`MAX_ENTRIES_PER_MESSAGE`] route entries.
-    pub entries: Vec<DvEntry>,
+    pub entries: InlineVec<DvEntry, MAX_ENTRIES_PER_MESSAGE>,
 }
 
 impl DvMessage {
-    /// Creates a message.
+    /// Creates a message from any entry source.
     ///
     /// # Panics
     ///
     /// Panics if more than [`MAX_ENTRIES_PER_MESSAGE`] entries are supplied;
-    /// use [`pack_entries`] to split larger vectors.
+    /// use [`pack_entries`] to split larger batches.
     #[must_use]
-    pub fn new(entries: Vec<DvEntry>) -> Self {
+    pub fn new(entries: impl IntoIterator<Item = DvEntry>) -> Self {
+        let entries: InlineVec<DvEntry, MAX_ENTRIES_PER_MESSAGE> =
+            entries.into_iter().collect();
         assert!(
             entries.len() <= MAX_ENTRIES_PER_MESSAGE,
             "message overflow: {} entries",
@@ -76,20 +83,19 @@ impl Payload for DvMessage {
 /// assert_eq!(messages[2].entries.len(), 10);
 /// ```
 #[must_use]
-pub fn pack_entries(entries: Vec<DvEntry>) -> Vec<DvMessage> {
-    if entries.is_empty() {
-        return Vec::new();
-    }
-    let mut messages = Vec::with_capacity(entries.len().div_ceil(MAX_ENTRIES_PER_MESSAGE));
-    let mut batch = Vec::with_capacity(MAX_ENTRIES_PER_MESSAGE.min(entries.len()));
+pub fn pack_entries(entries: impl IntoIterator<Item = DvEntry>) -> Vec<DvMessage> {
+    let mut messages = Vec::new();
+    let mut batch: InlineVec<DvEntry, MAX_ENTRIES_PER_MESSAGE> = InlineVec::new();
     for entry in entries {
         batch.push(entry);
         if batch.len() == MAX_ENTRIES_PER_MESSAGE {
-            messages.push(DvMessage::new(std::mem::take(&mut batch)));
+            messages.push(DvMessage {
+                entries: std::mem::take(&mut batch),
+            });
         }
     }
     if !batch.is_empty() {
-        messages.push(DvMessage::new(batch));
+        messages.push(DvMessage { entries: batch });
     }
     messages
 }
@@ -109,13 +115,13 @@ mod tests {
     fn sizes_match_ripv2() {
         assert_eq!(DvMessage::new(vec![]).size_bytes(), 4);
         assert_eq!(DvMessage::new(vec![entry(0)]).size_bytes(), 24);
-        let full = DvMessage::new((0..25).map(entry).collect());
+        let full = DvMessage::new((0..25).map(entry));
         assert_eq!(full.size_bytes(), 504);
     }
 
     #[test]
     fn packing_preserves_order_and_contents() {
-        let packed = pack_entries((0..30).map(entry).collect());
+        let packed = pack_entries((0..30).map(entry));
         assert_eq!(packed.len(), 2);
         let flat: Vec<DvEntry> = packed.into_iter().flat_map(|m| m.entries).collect();
         assert_eq!(flat, (0..30).map(entry).collect::<Vec<_>>());
@@ -128,7 +134,7 @@ mod tests {
 
     #[test]
     fn exact_multiple_has_no_trailing_empty_message() {
-        let packed = pack_entries((0..50).map(entry).collect());
+        let packed = pack_entries((0..50).map(entry));
         assert_eq!(packed.len(), 2);
         assert!(packed.iter().all(|m| m.entries.len() == 25));
     }
@@ -136,6 +142,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "overflow")]
     fn oversized_message_is_rejected() {
-        let _ = DvMessage::new((0..26).map(entry).collect());
+        let _ = DvMessage::new((0..26).map(entry));
     }
 }

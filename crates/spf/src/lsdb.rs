@@ -49,6 +49,25 @@ impl LinkStateDb {
         }
     }
 
+    /// Installs a borrowed LSA if it is newer than the stored instance,
+    /// cloning it only when accepted — a stale flood costs nothing.
+    ///
+    /// Returns `true` if the database changed (the LSA must be flooded on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the origin is out of range.
+    pub fn install_if_newer(&mut self, lsa: &Lsa) -> bool {
+        let slot = &mut self.entries[lsa.origin.index()];
+        match slot {
+            Some(existing) if existing.seq >= lsa.seq => false,
+            _ => {
+                *slot = Some(lsa.clone());
+                true
+            }
+        }
+    }
+
     /// The stored LSA for `origin`.
     #[must_use]
     pub fn get(&self, origin: NodeId) -> Option<&Lsa> {

@@ -1,7 +1,9 @@
 //! The SPF (link-state) protocol engine.
 
+use std::sync::Arc;
+
 use netsim::ident::NodeId;
-use netsim::protocol::{Payload, RoutingProtocol, TimerToken};
+use netsim::protocol::{Payload, RoutingProtocol, SharedPayload, TimerToken};
 use netsim::simulator::ProtocolContext;
 use netsim::time::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -100,16 +102,21 @@ impl Spf {
             seq: self.seq,
             neighbors,
         };
-        self.db.install(lsa.clone());
         self.flood(ctx, &lsa, None);
+        self.db.install(lsa);
         self.schedule_spf(ctx);
     }
 
     /// Floods `lsa` to all up neighbors except `except`.
+    ///
+    /// The LSA is wrapped once; every neighbor's frame shares the same
+    /// payload allocation instead of deep-cloning the adjacency list per
+    /// link.
     fn flood(&self, ctx: &mut ProtocolContext<'_>, lsa: &Lsa, except: Option<NodeId>) {
+        let message: SharedPayload = Arc::new(LsaMessage(lsa.clone()));
         for neighbor in ctx.neighbors() {
             if Some(neighbor) != except && ctx.neighbor_up(neighbor) {
-                ctx.send(neighbor, Box::new(LsaMessage(lsa.clone())));
+                ctx.send(neighbor, Arc::clone(&message));
             }
         }
     }
@@ -157,7 +164,7 @@ impl RoutingProtocol for Spf {
             debug_assert!(false, "SPF received a non-LSA payload");
             return;
         };
-        if self.db.install(lsa.clone()) {
+        if self.db.install_if_newer(lsa) {
             self.flood(ctx, lsa, Some(from));
             self.schedule_spf(ctx);
         }

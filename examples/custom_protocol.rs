@@ -79,7 +79,7 @@ impl RoutingProtocol for HotStandby {
         for neighbor in ctx.neighbors() {
             if ctx.neighbor_up(neighbor) {
                 for message in pack_entries(entries.clone()) {
-                    ctx.send(neighbor, Box::new(message));
+                    ctx.send(neighbor, std::sync::Arc::new(message));
                 }
             }
         }

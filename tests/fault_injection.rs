@@ -331,7 +331,7 @@ impl netsim::protocol::RoutingProtocol for TickProto {
     ) {
         self.ticks.push(ctx.now());
         for n in ctx.neighbors() {
-            ctx.send(n, Box::new(Ping));
+            ctx.send(n, std::sync::Arc::new(Ping));
         }
         ctx.set_timer(TICK, netsim::protocol::TimerToken(1));
     }
